@@ -1,0 +1,279 @@
+// Benchmarks that regenerate every table and figure of the paper's
+// evaluation section. Each benchmark prints its rows once (so
+// `go test -bench=. -benchmem` reproduces the paper's artifacts) and then
+// times the computation that produces them. The full study runs once per
+// process and is shared by all benchmarks.
+package hpcmetrics_test
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"testing"
+
+	"hpcmetrics"
+	"hpcmetrics/internal/apps"
+	"hpcmetrics/internal/convolve"
+	"hpcmetrics/internal/machine"
+	"hpcmetrics/internal/metrics"
+	"hpcmetrics/internal/probes"
+	"hpcmetrics/internal/report"
+	"hpcmetrics/internal/simexec"
+	"hpcmetrics/internal/study"
+	"hpcmetrics/internal/trace"
+)
+
+var printOnce sync.Map
+
+// printTable emits a table once per process, keyed by its title.
+func printTable(tab *report.Table) {
+	if _, done := printOnce.LoadOrStore(tab.Title, true); !done {
+		fmt.Fprintln(os.Stdout)
+		fmt.Fprintln(os.Stdout, tab.String())
+	}
+}
+
+func shared(b *testing.B) *study.Results {
+	b.Helper()
+	res, err := study.Shared()
+	if err != nil {
+		b.Fatalf("study: %v", err)
+	}
+	return res
+}
+
+// BenchmarkFigure1MAPSCurves regenerates the paper's Figure 1: unit-stride
+// memory bandwidth versus working-set size for three target systems. The
+// timed unit is one full MAPS sweep.
+func BenchmarkFigure1MAPSCurves(b *testing.B) {
+	res := shared(b)
+	printTable(report.MAPSCurveTable([]*probes.Results{
+		res.Probes[machine.NAVO655],
+		res.Probes[machine.ARLAltix],
+		res.Probes[machine.ARLOpteron],
+	}))
+	cfg := machine.MustPreset(machine.ARLOpteron)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := probes.MAPS(cfg, probes.MAPSUnitStride, nil, false); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable4MetricErrors regenerates the paper's Table 4 (and the
+// data behind Figure 2, its graphical form). The timed unit is the error
+// aggregation over all 9 x ~150 predictions.
+func BenchmarkTable4MetricErrors(b *testing.B) {
+	res := shared(b)
+	printTable(report.Table4(res))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, m := range metrics.All() {
+			_ = res.MetricSummary(m.ID)
+		}
+	}
+}
+
+// BenchmarkBalancedRating regenerates the Section 4 side experiment:
+// fixed-weight and regression-optimized IDC-style balanced ratings. The
+// timed unit is one full weight-grid optimization over the study's
+// observations.
+func BenchmarkBalancedRating(b *testing.B) {
+	res := shared(b)
+	printTable(report.BalancedTable(res))
+	pool := make([]*probes.Results, 0, len(res.TargetNames))
+	for _, name := range res.TargetNames {
+		pool = append(pool, res.Probes[name])
+	}
+	var obs []metrics.RatingObservation
+	basePr := res.Probes[res.BaseName]
+	for _, key := range res.Cells {
+		for _, name := range res.TargetNames {
+			if actual, ok := res.Observed[key][name]; ok {
+				obs = append(obs, metrics.RatingObservation{
+					Base: basePr, Target: res.Probes[name],
+					BaseSeconds: res.BaseTimes[key], ActualSeconds: actual,
+				})
+			}
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := metrics.OptimizeRating(pool, obs, 0.05); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable5SystemErrors regenerates the paper's Table 5: per-system
+// average absolute error for every metric.
+func BenchmarkTable5SystemErrors(b *testing.B) {
+	res := shared(b)
+	printTable(report.Table5(res))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, name := range res.TargetNames {
+			for id := 1; id <= 9; id++ {
+				_ = res.SystemSummary(name, id)
+			}
+		}
+	}
+}
+
+// benchFigure regenerates one of the paper's per-application error figures.
+func benchFigure(b *testing.B, appID string) {
+	res := shared(b)
+	fs, err := report.Figure(res, appID)
+	if err != nil {
+		b.Fatal(err)
+	}
+	printTable(fs.Table())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := report.Figure(res, appID); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure3AVUSStandard regenerates Figure 3.
+func BenchmarkFigure3AVUSStandard(b *testing.B) { benchFigure(b, "avus-standard") }
+
+// BenchmarkFigure4AVUSLarge regenerates Figure 4.
+func BenchmarkFigure4AVUSLarge(b *testing.B) { benchFigure(b, "avus-large") }
+
+// BenchmarkFigure5HYCOM regenerates Figure 5.
+func BenchmarkFigure5HYCOM(b *testing.B) { benchFigure(b, "hycom-standard") }
+
+// BenchmarkFigure6OVERFLOW2 regenerates Figure 6.
+func BenchmarkFigure6OVERFLOW2(b *testing.B) { benchFigure(b, "overflow2-standard") }
+
+// BenchmarkFigure7RFCTH regenerates Figure 7.
+func BenchmarkFigure7RFCTH(b *testing.B) { benchFigure(b, "rfcth-standard") }
+
+// BenchmarkAppendixObservedTimes regenerates the appendix tables 6-10
+// (observed times-to-solution with the paper-style blank cells). The
+// timed unit is one ground-truth application execution.
+func BenchmarkAppendixObservedTimes(b *testing.B) {
+	res := shared(b)
+	for _, tc := range apps.Registry() {
+		tab, err := report.ObservedTable(res, tc.ID())
+		if err != nil {
+			b.Fatal(err)
+		}
+		printTable(tab)
+	}
+	tc, err := apps.Lookup("rfcth", "")
+	if err != nil {
+		b.Fatal(err)
+	}
+	app, err := tc.Instance(64)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := machine.MustPreset(machine.NAVO655)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := simexec.Execute(cfg, app); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Component benchmarks: the pipeline stages the study is built from ---
+
+// BenchmarkProbeSuite times the full synthetic benchmark suite on one
+// machine (the per-target cost of deploying the methodology).
+func BenchmarkProbeSuite(b *testing.B) {
+	cfg := machine.MustPreset(machine.ASCSC45)
+	for i := 0; i < b.N; i++ {
+		if _, err := probes.Measure(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTracer times tracing one application on the base system (the
+// paper's "30x slowdown" step, paid once per application).
+func BenchmarkTracer(b *testing.B) {
+	base := machine.Base()
+	tc, err := apps.Lookup("hycom", "")
+	if err != nil {
+		b.Fatal(err)
+	}
+	app, err := tc.Instance(96)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := trace.Collect(base, app); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkConvolver times one convolver prediction — the step that runs
+// per (application, target) pair and must be cheap for the methodology to
+// beat running the applications everywhere.
+func BenchmarkConvolver(b *testing.B) {
+	res := shared(b)
+	tr := res.Traces[study.Key{App: "avus", Case: "standard", Procs: 64}]
+	pr := res.Probes[machine.ARLOpteron]
+	opts := convolve.Options{Memory: convolve.MemMAPSDependency, Network: true}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := convolve.Predict(tr, pr, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPredictAllMetrics times applying all nine metrics to one
+// (application, target) cell.
+func BenchmarkPredictAllMetrics(b *testing.B) {
+	res := shared(b)
+	key := study.Key{App: "overflow2", Case: "standard", Procs: 48}
+	ctx := metrics.Context{
+		Trace:       res.Traces[key],
+		Base:        res.Probes[res.BaseName],
+		Target:      res.Probes[machine.ARLAltix],
+		BaseSeconds: res.BaseTimes[key],
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, m := range metrics.All() {
+			if _, err := m.Predict(ctx); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkEndToEndPrediction times the paper's complete per-target
+// workflow from the public API: probe the target, then predict one traced
+// application with the best metric. (Tracing and the base run are
+// excluded — they are one-time, per-application costs.)
+func BenchmarkEndToEndPrediction(b *testing.B) {
+	res := shared(b)
+	key := study.Key{App: "hycom", Case: "standard", Procs: 96}
+	m, err := hpcmetrics.MetricByID(9)
+	if err != nil {
+		b.Fatal(err)
+	}
+	target := machine.MustPreset(machine.ARLXeon)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pr, err := hpcmetrics.MeasureProbes(target)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := m.Predict(metrics.Context{
+			Trace: res.Traces[key], Base: res.Probes[res.BaseName],
+			Target: pr, BaseSeconds: res.BaseTimes[key],
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

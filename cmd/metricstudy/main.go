@@ -1,0 +1,117 @@
+// Command metricstudy runs the full SC'05 reproduction and prints every
+// table and figure of the paper's evaluation section: Table 4 (error per
+// metric), Table 5 (error per system), the balanced-rating experiment,
+// Figures 1 and 3-7, and the appendix observed-time tables.
+//
+// Usage:
+//
+//	metricstudy [-csv] [-quiet] [-only table4|table5|figures|observed|probes|balanced|ranking]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"hpcmetrics"
+	"hpcmetrics/internal/report"
+	"hpcmetrics/internal/study"
+)
+
+func main() {
+	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	quiet := flag.Bool("quiet", false, "suppress progress output")
+	only := flag.String("only", "", "print only one section: table4, table5, figures, observed, probes, balanced, correlation, ranking")
+	ablate := flag.String("ablate", "", "ablation: noise, loadedmem, or dep (runs the study with that model ingredient disabled)")
+	flag.Parse()
+
+	var progress io.Writer = os.Stderr
+	if *quiet {
+		progress = nil
+	}
+	opts := study.Options{Progress: progress}
+	switch *ablate {
+	case "":
+	case "noise":
+		opts.DisableNoise = true
+	case "loadedmem":
+		opts.IdleMemory = true
+	case "dep":
+		opts.NoDependencyFlags = true
+	default:
+		fmt.Fprintf(os.Stderr, "metricstudy: unknown ablation %q\n", *ablate)
+		os.Exit(2)
+	}
+	if *ablate != "" {
+		fmt.Fprintf(os.Stderr, "metricstudy: ablation %q active — results intentionally deviate from the reproduction\n", *ablate)
+	}
+	res, err := study.Run(opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "metricstudy:", err)
+		os.Exit(1)
+	}
+
+	emit := func(t *hpcmetrics.ReportTable) {
+		if *csv {
+			fmt.Print(t.CSV())
+		} else {
+			fmt.Println(t.String())
+		}
+	}
+
+	section := func(name string) bool { return *only == "" || *only == name }
+
+	if section("probes") {
+		emit(hpcmetrics.ProbeTable(res))
+		prs := []*hpcmetrics.ProbeResults{
+			res.Probes[hpcmetrics.NAVO655],
+			res.Probes[hpcmetrics.ARLAltix],
+			res.Probes[hpcmetrics.ARLOpteron],
+		}
+		emit(report.MAPSCurveTable(prs))
+	}
+	if section("table4") {
+		emit(hpcmetrics.Table4(res))
+	}
+	if section("balanced") {
+		emit(hpcmetrics.BalancedTable(res))
+	}
+	if section("table5") {
+		emit(hpcmetrics.Table5(res))
+	}
+	if section("figures") {
+		for _, tc := range hpcmetrics.TestCases() {
+			t, err := hpcmetrics.FigureTable(res, tc.ID())
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "metricstudy:", err)
+				os.Exit(1)
+			}
+			emit(t)
+		}
+	}
+	if section("observed") {
+		for _, tc := range hpcmetrics.TestCases() {
+			t, err := hpcmetrics.ObservedTable(res, tc.ID())
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "metricstudy:", err)
+				os.Exit(1)
+			}
+			emit(t)
+		}
+	}
+	if section("correlation") {
+		t, err := report.CorrelationTable(res)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "metricstudy:", err)
+			os.Exit(1)
+		}
+		emit(t)
+	}
+	if section("ranking") {
+		fmt.Println("Application-performance ranking (best first, observed vs base):")
+		for i, name := range hpcmetrics.Ranking(res) {
+			fmt.Printf("  %2d. %s\n", i+1, name)
+		}
+	}
+}

@@ -1,0 +1,112 @@
+// Command predict makes one prediction: the runtime of an application
+// test case on a target machine, using a chosen metric (1-9), and — when
+// the job fits on the simulated target — compares it against the
+// ground-truth observed time, reporting the paper's Equation 2 error.
+//
+// Usage:
+//
+//	predict -app hycom -target ARL_Opteron [-metric 9] [-procs 96] [-all]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hpcmetrics"
+	"hpcmetrics/internal/persist"
+)
+
+func main() {
+	appName := flag.String("app", "", "application name (avus, hycom, overflow2, rfcth)")
+	caseName := flag.String("case", "", "test case (standard, large)")
+	procs := flag.Int("procs", 0, "processor count (default: the test case's middle count)")
+	target := flag.String("target", "", "target machine preset")
+	metricID := flag.Int("metric", 9, "metric number 1-9 (paper Table 3)")
+	all := flag.Bool("all", false, "apply all nine metrics")
+	tracePath := flag.String("trace", "", "reuse a trace written by tracer -o instead of tracing now")
+	flag.Parse()
+
+	if *appName == "" || *target == "" {
+		fmt.Fprintln(os.Stderr, "predict: -app and -target are required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	tc, err := hpcmetrics.LookupTestCase(*appName, *caseName)
+	check(err)
+	if *procs == 0 {
+		*procs = tc.CPUCounts[1]
+	}
+	app, err := tc.Instance(*procs)
+	check(err)
+
+	base := hpcmetrics.BaseMachine()
+	targetCfg, err := hpcmetrics.LookupMachine(*target)
+	check(err)
+
+	fmt.Fprintf(os.Stderr, "probing %s and %s...\n", base.Name, targetCfg.Name)
+	basePr, err := hpcmetrics.MeasureProbes(base)
+	check(err)
+	targetPr, err := hpcmetrics.MeasureProbes(targetCfg)
+	check(err)
+
+	fmt.Fprintf(os.Stderr, "running %s at %d CPUs on the base system...\n", tc.ID(), *procs)
+	baseRun, err := hpcmetrics.Execute(base, app)
+	check(err)
+
+	var tr *hpcmetrics.Trace
+	if *tracePath != "" {
+		fmt.Fprintf(os.Stderr, "loading trace from %s...\n", *tracePath)
+		tr, err = persist.LoadTrace(*tracePath)
+		check(err)
+		if tr.App != tc.Name || tr.Procs != *procs {
+			fmt.Fprintf(os.Stderr, "predict: trace is %s-%s@%d, requested %s@%d\n",
+				tr.App, tr.Case, tr.Procs, tc.ID(), *procs)
+			os.Exit(1)
+		}
+	} else {
+		fmt.Fprintln(os.Stderr, "tracing on the base system...")
+		tr, err = hpcmetrics.CollectTrace(base, app)
+		check(err)
+	}
+
+	var actual float64
+	if run, err := hpcmetrics.Execute(targetCfg, app); err == nil {
+		actual = run.Seconds
+	}
+
+	fmt.Printf("%s at %d CPUs: base (%s) observed %.0f s\n",
+		tc.ID(), *procs, base.Name, baseRun.Seconds)
+
+	ids := []int{*metricID}
+	if *all {
+		ids = []int{1, 2, 3, 4, 5, 6, 7, 8, 9}
+	}
+	for _, id := range ids {
+		m, err := hpcmetrics.MetricByID(id)
+		check(err)
+		pred, err := m.Predict(hpcmetrics.MetricContext{
+			Trace: tr, Base: basePr, Target: targetPr, BaseSeconds: baseRun.Seconds,
+		})
+		check(err)
+		fmt.Printf("metric %-4s %-20s predicts %8.0f s on %s",
+			m.Label(), m.Name, pred, targetCfg.Name)
+		if actual > 0 {
+			fmt.Printf("  (observed %.0f s, error %+.0f%%)",
+				actual, hpcmetrics.SignedError(pred, actual))
+		}
+		fmt.Println()
+	}
+	if actual == 0 {
+		fmt.Printf("(job does not fit on %s's %d processors; no observed time)\n",
+			targetCfg.Name, targetCfg.TotalProcs)
+	}
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "predict:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,86 @@
+// Command probes runs the synthetic benchmark suite on one machine (or
+// all presets) and prints the results, including the MAPS
+// bandwidth-versus-size curves behind the paper's Figure 1.
+//
+// Usage:
+//
+//	probes [-machine NAME] [-maps] [-enhanced] [-csv]
+//
+// Without -machine, every preset is probed (summary only).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hpcmetrics"
+	"hpcmetrics/internal/probes"
+)
+
+func main() {
+	name := flag.String("machine", "", "preset machine name (empty: all presets, summary only)")
+	maps := flag.Bool("maps", false, "print MAPS curves (with -machine)")
+	enhanced := flag.Bool("enhanced", false, "print ENHANCED MAPS (dependency) curves too")
+	flag.Parse()
+
+	if *name == "" {
+		fmt.Printf("%-16s %10s %12s %12s %10s %11s\n",
+			"machine", "HPL(GF/s)", "STREAM(GB/s)", "GUPS(Mref/s)", "lat(us)", "bw(MB/s)")
+		for _, n := range hpcmetrics.MachineNames() {
+			pr := measure(n)
+			fmt.Printf("%-16s %10.2f %12.2f %12.1f %10.1f %11.0f\n", n,
+				pr.HPLFlopsPerSec/1e9, pr.StreamBytesPerSec/1e9, pr.GUPSRefsPerSec/1e6,
+				pr.Net.LatencySeconds*1e6, pr.Net.BandwidthBytesPerSec/1e6)
+		}
+		return
+	}
+
+	pr := measure(*name)
+	fmt.Printf("machine:   %s\n", pr.Machine)
+	fmt.Printf("HPL:       %.2f GF/s per processor\n", pr.HPLFlopsPerSec/1e9)
+	fmt.Printf("STREAM:    %.2f GB/s\n", pr.StreamBytesPerSec/1e9)
+	fmt.Printf("GUPS:      %.1f Mref/s\n", pr.GUPSRefsPerSec/1e6)
+	fmt.Printf("NETBENCH:  latency %.1f us, bandwidth %.0f MB/s, allreduce(8B,64p) %.1f us\n",
+		pr.Net.LatencySeconds*1e6, pr.Net.BandwidthBytesPerSec/1e6, pr.Net.AllReduce8At64*1e6)
+
+	if *maps || *enhanced {
+		fmt.Printf("\n%-8s %14s %14s", "size", "unit(GB/s)", "random(Mref/s)")
+		if *enhanced {
+			fmt.Printf(" %14s %14s", "depU(GB/s)", "depR(Mref/s)")
+		}
+		fmt.Println()
+		for i, size := range pr.MAPSUnit.SizesBytes {
+			fmt.Printf("%-8s %14.2f %14.1f", sizeLabel(size),
+				pr.MAPSUnit.RefsPerSec[i]*8/1e9, pr.MAPSRandom.RefsPerSec[i]/1e6)
+			if *enhanced {
+				fmt.Printf(" %14.2f %14.1f",
+					pr.DepUnit.RefsPerSec[i]*8/1e9, pr.DepRandom.RefsPerSec[i]/1e6)
+			}
+			fmt.Println()
+		}
+	}
+}
+
+func measure(name string) *probes.Results {
+	cfg, err := hpcmetrics.LookupMachine(name)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "probes:", err)
+		os.Exit(1)
+	}
+	pr, err := hpcmetrics.MeasureProbes(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "probes:", err)
+		os.Exit(1)
+	}
+	return pr
+}
+
+func sizeLabel(b int64) string {
+	switch {
+	case b >= 1<<20:
+		return fmt.Sprintf("%dMB", b>>20)
+	default:
+		return fmt.Sprintf("%dKB", b>>10)
+	}
+}

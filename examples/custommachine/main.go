@@ -1,0 +1,170 @@
+// Custommachine: define a machine that is not one of the study presets —
+// a notional next-generation node — and a custom application skeleton,
+// then run the paper's methodology on them: probe, trace, convolve,
+// validate. This is the workflow for anyone extending the study to new
+// hardware or workloads.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"hpcmetrics"
+	"hpcmetrics/internal/access"
+	"hpcmetrics/internal/convolve"
+	"hpcmetrics/internal/cpusim"
+	"hpcmetrics/internal/netsim"
+	"hpcmetrics/internal/workload"
+)
+
+// nextGen is a hypothetical 2.6 GHz system with a large L2, an integrated
+// memory controller, and a fat-tree interconnect.
+func nextGen() *hpcmetrics.MachineConfig {
+	return &hpcmetrics.MachineConfig{
+		Name:                          "NextGen_2.6GHz",
+		Vendor:                        "ACME",
+		ClockGHz:                      2.6,
+		FPPerCycle:                    4,
+		FPLatencyCycles:               5,
+		IssueWidth:                    4,
+		LoadStorePerCycle:             2,
+		BranchMispredictPenaltyCycles: 14,
+		MaxOutstandingMisses:          10,
+		PrefetchStreams:               8,
+		PrefetchMaxStride:             2,
+		Caches: []hpcmetrics.CacheLevel{
+			{Name: "L1", SizeBytes: 64 << 10, LineBytes: 64, Assoc: 2, LatencyCycles: 3, BandwidthBytesPerCycle: 16},
+			{Name: "L2", SizeBytes: 2 << 20, LineBytes: 64, Assoc: 8, LatencyCycles: 14, BandwidthBytesPerCycle: 12},
+		},
+		MemLatencyNs:           95,
+		MemBandwidthGBs:        5.2,
+		MemLoadedFraction:      0.85,
+		MemLoadedLatencyFactor: 1.1,
+		PageBytes:              4096,
+		TLBEntries:             1024,
+		TLBMissPenaltyNs:       50,
+		CoresPerNode:           4,
+		TotalProcs:             1024,
+		MemOverlapFraction:     0.8,
+		Net: hpcmetrics.Network{
+			LatencyUs: 4, BandwidthMBs: 900, OverheadUs: 1,
+			NICsPerNode: 2, ContentionBeta: 0.2,
+		},
+	}
+}
+
+// spectral is a custom workload: an FFT-flavoured solver with a transpose
+// phase (all-to-all) and a pointwise phase.
+func spectral(procs int) *workload.App {
+	const points = 16_000_000
+	n := float64(points) / float64(procs)
+	return &workload.App{
+		Name: "spectral", Case: "demo", Procs: procs,
+		RuntimeImbalance: 1.02,
+		Blocks: []workload.Block{
+			{
+				Name: "butterfly",
+				Work: cpusim.Work{Flops: 90, IntOps: 20, MemOps: 24, FPChainLen: 6},
+				Stream: access.StreamSpec{
+					WorkingSetBytes:  int64(96 * n),
+					Mix:              access.Mix{Unit: 0.55, Short: 0.40, Random: 0.05},
+					ShortStrideElems: 8,
+					StoreFraction:    0.4,
+					HotFraction:      0.5,
+					Seed:             42,
+				},
+				Iters: n * 400,
+			},
+			{
+				Name: "pointwise",
+				Work: cpusim.Work{Flops: 30, IntOps: 6, MemOps: 10, FPChainLen: 2},
+				Stream: access.StreamSpec{
+					WorkingSetBytes: int64(48 * n),
+					Mix:             access.Mix{Unit: 1},
+					StoreFraction:   0.5,
+					HotFraction:     0.3,
+					Seed:            43,
+				},
+				Iters: n * 400,
+			},
+		},
+		Comm: []netsim.Event{
+			{Op: netsim.OpAllToAll, Bytes: int64(8 * n / float64(procs)), Count: 400},
+			{Op: netsim.OpAllReduce, Bytes: 8, Count: 400},
+		},
+	}
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("custommachine: ")
+
+	target := nextGen()
+	if err := target.Validate(); err != nil {
+		log.Fatal(err)
+	}
+	app := spectral(128)
+	if err := app.Validate(); err != nil {
+		log.Fatal(err)
+	}
+
+	base := hpcmetrics.BaseMachine()
+	fmt.Fprintln(os.Stderr, "probing base and target ...")
+	basePr, err := hpcmetrics.MeasureProbes(base)
+	if err != nil {
+		log.Fatal(err)
+	}
+	targetPr, err := hpcmetrics.MeasureProbes(target)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s probes: HPL %.2f GF/s, STREAM %.2f GB/s, GUPS %.1f Mref/s\n",
+		target.Name, targetPr.HPLFlopsPerSec/1e9,
+		targetPr.StreamBytesPerSec/1e9, targetPr.GUPSRefsPerSec/1e6)
+
+	fmt.Fprintln(os.Stderr, "base run + trace ...")
+	baseRun, err := hpcmetrics.Execute(base, app)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tr, err := hpcmetrics.CollectTrace(base, app)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Convolve directly at each memory-model resolution to see the terms
+	// build up, then validate against the simulated ground truth.
+	actual, err := hpcmetrics.Execute(target, app)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n%s at %d CPUs: base observed %.0f s, target observed %.0f s\n\n",
+		app.ID(), app.Procs, baseRun.Seconds, actual.Seconds)
+
+	for _, opts := range []hpcmetrics.ConvolveOptions{
+		{Memory: convolve.MemNone},
+		{Memory: convolve.MemStream},
+		{Memory: convolve.MemStreamGups},
+		{Memory: convolve.MemMAPS},
+		{Memory: convolve.MemMAPS, Network: true},
+		{Memory: convolve.MemMAPSDependency, Network: true},
+	} {
+		pt, err := hpcmetrics.Convolve(tr, targetPr, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		pb, err := hpcmetrics.Convolve(tr, basePr, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		predicted := baseRun.Seconds * pt.Seconds / pb.Seconds
+		net := ""
+		if opts.Network {
+			net = "+net"
+		}
+		fmt.Printf("transfer function %-12s%-5s predicts %7.0f s (error %+.0f%%)\n",
+			opts.Memory, net, predicted,
+			hpcmetrics.SignedError(predicted, actual.Seconds))
+	}
+}

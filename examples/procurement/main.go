@@ -1,0 +1,132 @@
+// Procurement: the paper's acquisition scenario. A center must choose one
+// of the ten systems for a given workload mix without running the
+// applications everywhere. This example compares the machine each
+// prediction methodology would buy — cheapest predicted aggregate
+// runtime — against the machine that is actually best, and reports how
+// much performance each methodology's choice leaves on the table.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"hpcmetrics"
+)
+
+// workload mix: (test case, CPUs, weight) — a center's expected usage.
+var mix = []struct {
+	app    string
+	cases  string
+	procs  int
+	weight float64
+}{
+	{"avus", "standard", 64, 0.4},
+	{"hycom", "standard", 96, 0.4},
+	{"rfcth", "standard", 32, 0.2},
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("procurement: ")
+
+	base := hpcmetrics.BaseMachine()
+	basePr, err := hpcmetrics.MeasureProbes(base)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Trace the workload once on the base system.
+	type cell struct {
+		app      *hpcmetrics.App
+		tr       *hpcmetrics.Trace
+		baseSecs float64
+		weight   float64
+	}
+	var cells []cell
+	for _, w := range mix {
+		tc, err := hpcmetrics.LookupTestCase(w.app, w.cases)
+		if err != nil {
+			log.Fatal(err)
+		}
+		app, err := tc.Instance(w.procs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "base run + trace: %s@%d\n", tc.ID(), w.procs)
+		run, err := hpcmetrics.Execute(base, app)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tr, err := hpcmetrics.CollectTrace(base, app)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cells = append(cells, cell{app, tr, run.Seconds, w.weight})
+	}
+
+	// Score every target under each methodology.
+	methodologies := []int{1, 3, 6, 9} // HPL, GUPS, trace+STREAM+GUPS, full
+	type choice struct {
+		name  string
+		score float64
+	}
+	best := map[int]choice{}
+	var trueBest choice
+	actualScore := map[string]float64{}
+
+	for _, cfg := range hpcmetrics.StudyTargets() {
+		fmt.Fprintln(os.Stderr, "evaluating", cfg.Name, "...")
+		pr, err := hpcmetrics.MeasureProbes(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var actual float64
+		predicted := map[int]float64{}
+		feasible := true
+		for _, c := range cells {
+			run, err := hpcmetrics.Execute(cfg, c.app)
+			if err != nil {
+				feasible = false
+				break
+			}
+			actual += c.weight * run.Seconds
+			for _, id := range methodologies {
+				m, err := hpcmetrics.MetricByID(id)
+				if err != nil {
+					log.Fatal(err)
+				}
+				p, err := m.Predict(hpcmetrics.MetricContext{
+					Trace: c.tr, Base: basePr, Target: pr, BaseSeconds: c.baseSecs,
+				})
+				if err != nil {
+					log.Fatal(err)
+				}
+				predicted[id] += c.weight * p
+			}
+		}
+		if !feasible {
+			continue
+		}
+		actualScore[cfg.Name] = actual
+		if trueBest.name == "" || actual < trueBest.score {
+			trueBest = choice{cfg.Name, actual}
+		}
+		for _, id := range methodologies {
+			if b, ok := best[id]; !ok || predicted[id] < b.score {
+				best[id] = choice{cfg.Name, predicted[id]}
+			}
+		}
+	}
+
+	fmt.Printf("\ntrue best machine for the workload: %s (weighted runtime %.0f s)\n\n",
+		trueBest.name, trueBest.score)
+	fmt.Printf("%-28s %-16s %s\n", "methodology", "would buy", "performance left on the table")
+	for _, id := range methodologies {
+		m, _ := hpcmetrics.MetricByID(id)
+		pick := best[id]
+		loss := (actualScore[pick.name] - trueBest.score) / trueBest.score * 100
+		fmt.Printf("%-28s %-16s %+.0f%%\n",
+			fmt.Sprintf("#%d (%s)", id, m.Name), pick.name, loss)
+	}
+}

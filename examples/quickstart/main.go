@@ -1,0 +1,80 @@
+// Quickstart: probe a machine, trace an application on the base system,
+// and predict its runtime on a target — the paper's methodology end to
+// end on a single (application, machine) pair.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"hpcmetrics"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("quickstart: ")
+
+	// 1. Pick a target machine and look at its simple benchmark scores.
+	target := hpcmetrics.Machine(hpcmetrics.ARLOpteron)
+	fmt.Fprintln(os.Stderr, "probing", target.Name, "...")
+	targetProbes, err := hpcmetrics.MeasureProbes(target)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s: HPL %.2f GF/s, STREAM %.2f GB/s, GUPS %.1f Mref/s\n",
+		target.Name,
+		targetProbes.HPLFlopsPerSec/1e9,
+		targetProbes.StreamBytesPerSec/1e9,
+		targetProbes.GUPSRefsPerSec/1e6)
+
+	// 2. Instantiate an application test case and run it on the base
+	// system — that run plus a trace is all the paper's methodology needs.
+	tc, err := hpcmetrics.LookupTestCase("hycom", "standard")
+	if err != nil {
+		log.Fatal(err)
+	}
+	app, err := tc.Instance(96)
+	if err != nil {
+		log.Fatal(err)
+	}
+	base := hpcmetrics.BaseMachine()
+	fmt.Fprintln(os.Stderr, "running and tracing", tc.ID(), "on", base.Name, "...")
+	baseProbes, err := hpcmetrics.MeasureProbes(base)
+	if err != nil {
+		log.Fatal(err)
+	}
+	baseRun, err := hpcmetrics.Execute(base, app)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tr, err := hpcmetrics.CollectTrace(base, app)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s at %d CPUs observed %.0f s on %s\n",
+		tc.ID(), app.Procs, baseRun.Seconds, base.Name)
+
+	// 3. Predict the target's runtime with the paper's best metric (#9)
+	// and check against ground truth.
+	m, err := hpcmetrics.MetricByID(9)
+	if err != nil {
+		log.Fatal(err)
+	}
+	predicted, err := m.Predict(hpcmetrics.MetricContext{
+		Trace:       tr,
+		Base:        baseProbes,
+		Target:      targetProbes,
+		BaseSeconds: baseRun.Seconds,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	actual, err := hpcmetrics.Execute(target, app)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("metric %s predicts %.0f s on %s; observed %.0f s (error %+.0f%%)\n",
+		m.Label(), predicted, target.Name, actual.Seconds,
+		hpcmetrics.SignedError(predicted, actual.Seconds))
+}

@@ -1,0 +1,96 @@
+// Ranking: the paper's introduction motivates the study with the Top 500
+// question — can a single number rank HPC systems? This example ranks the
+// ten study systems three ways: by HPL (the Top 500 way), by STREAM, and
+// by observed application performance on one workload, then shows how the
+// orderings disagree (including HPL anticorrelation, the Gustafson & Todi
+// observation the paper cites).
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"sort"
+
+	"hpcmetrics"
+)
+
+type scored struct {
+	name  string
+	value float64
+}
+
+func rank(scores []scored, higherBetter bool) []string {
+	sort.Slice(scores, func(i, j int) bool {
+		if higherBetter {
+			return scores[i].value > scores[j].value
+		}
+		return scores[i].value < scores[j].value
+	})
+	out := make([]string, len(scores))
+	for i, s := range scores {
+		out[i] = s.name
+	}
+	return out
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("ranking: ")
+
+	tc, err := hpcmetrics.LookupTestCase("avus", "standard")
+	if err != nil {
+		log.Fatal(err)
+	}
+	app, err := tc.Instance(64)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var hpl, stream, observed []scored
+	for _, cfg := range hpcmetrics.StudyTargets() {
+		fmt.Fprintln(os.Stderr, "measuring", cfg.Name, "...")
+		pr, err := hpcmetrics.MeasureProbes(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		hpl = append(hpl, scored{cfg.Name, pr.HPLFlopsPerSec})
+		stream = append(stream, scored{cfg.Name, pr.StreamBytesPerSec})
+		run, err := hpcmetrics.Execute(cfg, app)
+		if err != nil {
+			log.Fatal(err)
+		}
+		observed = append(observed, scored{cfg.Name, run.Seconds})
+	}
+
+	byHPL := rank(hpl, true)
+	bySTREAM := rank(stream, true)
+	byApp := rank(observed, false) // lower time is better
+
+	fmt.Printf("\nRankings for %s at %d CPUs:\n\n", tc.ID(), app.Procs)
+	fmt.Printf("%4s  %-16s %-16s %-16s\n", "rank", "by HPL", "by STREAM", "by application")
+	for i := range byApp {
+		fmt.Printf("%4d  %-16s %-16s %-16s\n", i+1, byHPL[i], bySTREAM[i], byApp[i])
+	}
+
+	// Rank displacement: how far each single-number ranking strays from
+	// the application truth.
+	pos := map[string]int{}
+	for i, n := range byApp {
+		pos[n] = i
+	}
+	displacement := func(order []string) int {
+		var d int
+		for i, n := range order {
+			delta := i - pos[n]
+			if delta < 0 {
+				delta = -delta
+			}
+			d += delta
+		}
+		return d
+	}
+	fmt.Printf("\ntotal rank displacement vs application order: HPL %d, STREAM %d\n",
+		displacement(byHPL), displacement(bySTREAM))
+	fmt.Println("(zero would mean the simple metric ranks systems exactly as the application does)")
+}

@@ -1,0 +1,3 @@
+module hpcmetrics
+
+go 1.22

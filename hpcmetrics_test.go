@@ -1,0 +1,106 @@
+package hpcmetrics_test
+
+import (
+	"testing"
+
+	"hpcmetrics"
+)
+
+// These tests exercise the public façade without running the full study.
+
+func TestFacadeMachines(t *testing.T) {
+	names := hpcmetrics.MachineNames()
+	if len(names) != 11 {
+		t.Fatalf("%d machine presets, want 11", len(names))
+	}
+	cfg := hpcmetrics.Machine(hpcmetrics.ARLOpteron)
+	if cfg.Name != hpcmetrics.ARLOpteron {
+		t.Fatalf("Machine returned %q", cfg.Name)
+	}
+	if _, err := hpcmetrics.LookupMachine("nope"); err == nil {
+		t.Fatal("unknown machine accepted")
+	}
+	if got := len(hpcmetrics.StudyTargets()); got != 10 {
+		t.Fatalf("%d study targets", got)
+	}
+	if hpcmetrics.BaseMachine().Name != hpcmetrics.BaseSystem {
+		t.Fatal("base machine name mismatch")
+	}
+}
+
+func TestFacadeTestCases(t *testing.T) {
+	if got := len(hpcmetrics.TestCases()); got != 5 {
+		t.Fatalf("%d test cases", got)
+	}
+	tc, err := hpcmetrics.LookupTestCase("rfcth", "standard")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tc.ID() != "rfcth-standard" {
+		t.Fatalf("LookupTestCase = %s", tc.ID())
+	}
+}
+
+func TestFacadeMetrics(t *testing.T) {
+	if got := len(hpcmetrics.Metrics()); got != 9 {
+		t.Fatalf("%d metrics", got)
+	}
+	m, err := hpcmetrics.MetricByID(9)
+	if err != nil || m.ID != 9 {
+		t.Fatalf("MetricByID(9) = %+v, %v", m, err)
+	}
+	if got := hpcmetrics.SignedError(110, 100); got != 10 {
+		t.Fatalf("SignedError = %g", got)
+	}
+}
+
+func TestFacadeEndToEndSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("probes one machine")
+	}
+	// A miniature version of the quickstart: probe, run, trace, predict.
+	base := hpcmetrics.BaseMachine()
+	target := hpcmetrics.Machine(hpcmetrics.ARL690)
+	tc, err := hpcmetrics.LookupTestCase("rfcth", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	app, err := tc.Instance(32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	basePr, err := hpcmetrics.MeasureProbes(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	targetPr, err := hpcmetrics.MeasureProbes(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseRun, err := hpcmetrics.Execute(base, app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := hpcmetrics.CollectTrace(base, app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := hpcmetrics.MetricByID(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred, err := m.Predict(hpcmetrics.MetricContext{
+		Trace: tr, Base: basePr, Target: targetPr, BaseSeconds: baseRun.Seconds,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	actual, err := hpcmetrics.Execute(target, app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := hpcmetrics.SignedError(pred, actual.Seconds); e < -80 || e > 150 {
+		t.Fatalf("facade end-to-end error %.0f%% wildly out of band (pred %.0f, actual %.0f)",
+			e, pred, actual.Seconds)
+	}
+}

@@ -1,0 +1,251 @@
+package apps
+
+import (
+	"testing"
+
+	"hpcmetrics/internal/access"
+)
+
+func TestRegistryMatchesPaper(t *testing.T) {
+	reg := Registry()
+	if len(reg) != 5 {
+		t.Fatalf("registry has %d test cases, want 5", len(reg))
+	}
+	want := []struct {
+		id   string
+		cpus [3]int
+	}{
+		{"avus-standard", [3]int{32, 64, 128}},
+		{"avus-large", [3]int{128, 256, 384}},
+		{"hycom-standard", [3]int{59, 96, 124}},
+		{"overflow2-standard", [3]int{32, 48, 64}},
+		{"rfcth-standard", [3]int{16, 32, 64}},
+	}
+	for i, w := range want {
+		if reg[i].ID() != w.id {
+			t.Errorf("case %d = %s, want %s", i, reg[i].ID(), w.id)
+		}
+		if reg[i].CPUCounts != w.cpus {
+			t.Errorf("%s CPU counts = %v, want %v", w.id, reg[i].CPUCounts, w.cpus)
+		}
+	}
+}
+
+func TestAllInstancesValidate(t *testing.T) {
+	for _, tc := range Registry() {
+		for _, procs := range tc.CPUCounts {
+			app, err := tc.Instance(procs)
+			if err != nil {
+				t.Fatalf("%s@%d: %v", tc.ID(), procs, err)
+			}
+			if app.Procs != procs {
+				t.Errorf("%s@%d: instance procs = %d", tc.ID(), procs, app.Procs)
+			}
+		}
+	}
+}
+
+func TestInstanceRejectsBadProcs(t *testing.T) {
+	tc := Registry()[0]
+	if _, err := tc.Instance(0); err == nil {
+		t.Fatal("accepted 0 procs")
+	}
+	if _, err := tc.Instance(-5); err == nil {
+		t.Fatal("accepted negative procs")
+	}
+}
+
+func TestLookup(t *testing.T) {
+	tc, err := Lookup("avus", "large")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tc.ID() != "avus-large" {
+		t.Fatalf("Lookup = %s", tc.ID())
+	}
+	// Empty case matches the first registration.
+	tc, err = Lookup("avus", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tc.ID() != "avus-standard" {
+		t.Fatalf("Lookup with empty case = %s", tc.ID())
+	}
+	if _, err := Lookup("nonesuch", ""); err == nil {
+		t.Fatal("unknown app accepted")
+	}
+}
+
+func TestNames(t *testing.T) {
+	names := Names()
+	if len(names) != 5 {
+		t.Fatalf("Names = %v", names)
+	}
+}
+
+func TestWorkShrinksWithProcs(t *testing.T) {
+	for _, tc := range Registry() {
+		small, err := tc.Instance(tc.CPUCounts[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		large, err := tc.Instance(tc.CPUCounts[2])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if large.TotalFlops() >= small.TotalFlops() {
+			t.Errorf("%s: per-rank flops did not shrink with procs (%g vs %g)",
+				tc.ID(), large.TotalFlops(), small.TotalFlops())
+		}
+		// Strong scaling: total work across ranks roughly constant.
+		totSmall := small.TotalFlops() * float64(small.Procs)
+		totLarge := large.TotalFlops() * float64(large.Procs)
+		if totLarge/totSmall > 1.05 || totLarge/totSmall < 0.95 {
+			t.Errorf("%s: total flops not conserved under decomposition: %g vs %g",
+				tc.ID(), totSmall, totLarge)
+		}
+	}
+}
+
+func TestWorkingSetsShrinkWithProcs(t *testing.T) {
+	tc, _ := Lookup("avus", "standard")
+	small, _ := tc.Instance(32)
+	large, _ := tc.Instance(128)
+	// The flux block's footprint is per-rank and must shrink 4x.
+	ratio := float64(small.Blocks[0].Stream.WorkingSetBytes) /
+		float64(large.Blocks[0].Stream.WorkingSetBytes)
+	if ratio < 3.9 || ratio > 4.1 {
+		t.Fatalf("working set ratio 32->128 procs = %g, want ~4", ratio)
+	}
+}
+
+func TestAVUSLargeBiggerThanStandard(t *testing.T) {
+	std, _ := Lookup("avus", "standard")
+	lg, _ := Lookup("avus", "large")
+	a, _ := std.Instance(128)
+	b, _ := lg.Instance(128)
+	if b.TotalFlops() <= a.TotalFlops() {
+		t.Fatal("AVUS large not bigger than standard at equal procs")
+	}
+}
+
+func TestDependentBlocksPresent(t *testing.T) {
+	// The study's Metric #9 story needs recurrence blocks in AVUS, HYCOM,
+	// and OVERFLOW2.
+	for _, name := range []string{"avus", "hycom", "overflow2"} {
+		tc, err := Lookup(name, "")
+		if err != nil {
+			t.Fatal(err)
+		}
+		app, err := tc.Instance(tc.CPUCounts[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		found := false
+		for _, b := range app.Blocks {
+			if b.DependentMemory {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("%s has no dependent-memory block", name)
+		}
+	}
+}
+
+func TestBlocksHaveDistinctSeeds(t *testing.T) {
+	seen := map[uint64]string{}
+	for _, tc := range Registry() {
+		app, err := tc.Instance(tc.CPUCounts[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, b := range app.Blocks {
+			// Seeds are per (application, block): the two AVUS cases run
+			// the same code, so they legitimately share block seeds.
+			key := tc.Name + "/" + b.Name
+			if prev, dup := seen[b.Stream.Seed]; dup && prev != key {
+				t.Errorf("seed collision: %s and %s", prev, key)
+			}
+			seen[b.Stream.Seed] = key
+		}
+	}
+}
+
+func TestMixesAreValid(t *testing.T) {
+	for _, tc := range Registry() {
+		app, err := tc.Instance(tc.CPUCounts[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, b := range app.Blocks {
+			if err := b.Stream.Mix.Validate(); err != nil {
+				t.Errorf("%s/%s: %v", tc.ID(), b.Name, err)
+			}
+		}
+	}
+}
+
+func TestHaloShrinksSlowerThanVolume(t *testing.T) {
+	// Surface-to-volume: halving the subdomain should cut halo bytes by
+	// less than the volume factor.
+	tc, _ := Lookup("avus", "standard")
+	a, _ := tc.Instance(32)
+	b, _ := tc.Instance(128)
+	haloA, haloB := a.Comm[0].Bytes, b.Comm[0].Bytes
+	volRatio := 4.0
+	haloRatio := float64(haloA) / float64(haloB)
+	if haloRatio >= volRatio || haloRatio <= 1 {
+		t.Fatalf("halo ratio %g not in (1, %g)", haloRatio, volRatio)
+	}
+}
+
+func TestRFCTHHasLargestImbalance(t *testing.T) {
+	var rfcth, others float64
+	for _, tc := range Registry() {
+		app, _ := tc.Instance(tc.CPUCounts[0])
+		if tc.Name == "rfcth" {
+			rfcth = app.RuntimeImbalance
+		} else if app.RuntimeImbalance > others {
+			others = app.RuntimeImbalance
+		}
+	}
+	if rfcth <= others {
+		t.Fatalf("AMR imbalance %g not above other apps' max %g", rfcth, others)
+	}
+}
+
+func TestSeedOfDeterministic(t *testing.T) {
+	if seedOf("a", "b") != seedOf("a", "b") {
+		t.Fatal("seedOf not deterministic")
+	}
+	if seedOf("a", "b") == seedOf("b", "a") {
+		t.Fatal("seedOf ignores argument order")
+	}
+}
+
+func TestEOSTableCacheResident(t *testing.T) {
+	// RFCTH's EOS lookup tables must stay small regardless of scale — the
+	// cache-resident-random behaviour Metric #7 exists to price.
+	tc, _ := Lookup("rfcth", "")
+	for _, procs := range tc.CPUCounts {
+		app, _ := tc.Instance(procs)
+		for _, b := range app.Blocks {
+			if b.Name == "eos" && b.Stream.WorkingSetBytes > 1<<20 {
+				t.Fatalf("eos table %d bytes at %d procs", b.Stream.WorkingSetBytes, procs)
+			}
+		}
+	}
+}
+
+func TestStreamsGenerate(t *testing.T) {
+	// Every block's stream spec must actually generate.
+	for _, tc := range Registry() {
+		app, _ := tc.Instance(tc.CPUCounts[1])
+		for _, b := range app.Blocks {
+			if _, err := access.Generate(b.Stream, 100); err != nil {
+				t.Errorf("%s/%s: %v", tc.ID(), b.Name, err)
+			}
+		}
+	}
+}

@@ -1,0 +1,250 @@
+package convolve
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"hpcmetrics/internal/access"
+	"hpcmetrics/internal/netsim"
+	"hpcmetrics/internal/probes"
+	"hpcmetrics/internal/trace"
+)
+
+// fakeProbes builds a synthetic probe suite with controllable rates.
+func fakeProbes(name string, hpl, streamBps, gups float64) *probes.Results {
+	curve := func(rate float64) probes.Curve {
+		return probes.Curve{
+			SizesBytes: []int64{8 << 10, 1 << 20, 64 << 20},
+			RefsPerSec: []float64{rate * 4, rate * 2, rate},
+		}
+	}
+	return &probes.Results{
+		Machine:           name,
+		HPLFlopsPerSec:    hpl,
+		StreamBytesPerSec: streamBps,
+		GUPSRefsPerSec:    gups,
+		MAPSUnit:          curve(streamBps / 8),
+		MAPSRandom:        curve(gups),
+		DepUnit:           curve(streamBps / 16),
+		DepRandom:         curve(gups / 2),
+		Net: probes.NetResults{
+			LatencySeconds:       5e-6,
+			BandwidthBytesPerSec: 300e6,
+			AllReduce8At64:       50e-6,
+		},
+		OverlapFraction: 0.7,
+	}
+}
+
+func fakeTrace() *trace.Trace {
+	return &trace.Trace{
+		App: "fake", Case: "test", Procs: 64, BaseSystem: "base",
+		Blocks: []trace.BlockTrace{
+			{
+				Name: "hot", Iters: 1e6, FlopsPerIter: 50, MemOpsPerIter: 20,
+				Mix:             access.Mix{Unit: 0.7, Short: 0.1, Random: 0.2},
+				WorkingSetBytes: 32 << 20,
+			},
+			{
+				Name: "rec", Iters: 5e5, FlopsPerIter: 30, MemOpsPerIter: 10,
+				Mix:             access.Mix{Unit: 0.9, Random: 0.1},
+				WorkingSetBytes: 256 << 10,
+				ILPLimited:      true,
+			},
+		},
+		Comm: []netsim.Event{
+			{Op: netsim.OpPointToPoint, Bytes: 16 << 10, Count: 1000},
+			{Op: netsim.OpAllReduce, Bytes: 8, Count: 500},
+			{Op: netsim.OpBcast, Bytes: 4096, Count: 50},
+			{Op: netsim.OpBarrier, Count: 20},
+			{Op: netsim.OpAllToAll, Bytes: 1024, Count: 5},
+		},
+	}
+}
+
+func TestMemNoneUsesOnlyFlops(t *testing.T) {
+	tr := fakeTrace()
+	pr := fakeProbes("x", 2e9, 1e9, 10e6)
+	pred, err := Predict(tr, pr, Options{Memory: MemNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantFP := (50*1e6 + 30*5e5) / 2e9
+	// With no memory term, block time = FP time (overlap with zero is
+	// still fpTime + 0.3*0).
+	if math.Abs(pred.ComputeSeconds-wantFP) > 1e-12 {
+		t.Fatalf("compute = %g, want %g", pred.ComputeSeconds, wantFP)
+	}
+	if pred.CommSeconds != 0 {
+		t.Fatal("network term present without Network option")
+	}
+}
+
+func TestMemoryModelsOrdering(t *testing.T) {
+	// With GUPS far slower than STREAM, pricing random refs at GUPS
+	// (MemStreamGups) must predict more time than pricing all at STREAM.
+	tr := fakeTrace()
+	pr := fakeProbes("x", 2e9, 1e9, 5e6)
+	stream, err := Predict(tr, pr, Options{Memory: MemStream})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sg, err := Predict(tr, pr, Options{Memory: MemStreamGups})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sg.Seconds <= stream.Seconds {
+		t.Fatalf("stream+gups %g not above stream-only %g", sg.Seconds, stream.Seconds)
+	}
+}
+
+func TestMAPSUsesWorkingSetResolution(t *testing.T) {
+	// The small-working-set block must be priced at a faster rate under
+	// MemMAPS than under MemStreamGups (whose rates are main-memory).
+	tr := fakeTrace()
+	pr := fakeProbes("x", 2e9, 1e9, 5e6)
+	coarse, err := Predict(tr, pr, Options{Memory: MemStreamGups})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fine, err := Predict(tr, pr, Options{Memory: MemMAPS})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Block "rec" (256KB) sits on the fast end of the curve.
+	if fine.Blocks[1].MemSeconds >= coarse.Blocks[1].MemSeconds {
+		t.Fatalf("MAPS did not speed up the cache-resident block: %g vs %g",
+			fine.Blocks[1].MemSeconds, coarse.Blocks[1].MemSeconds)
+	}
+}
+
+func TestDependencyCurvesSlowFlaggedBlocks(t *testing.T) {
+	tr := fakeTrace()
+	pr := fakeProbes("x", 2e9, 1e9, 5e6)
+	std, err := Predict(tr, pr, Options{Memory: MemMAPS})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dep, err := Predict(tr, pr, Options{Memory: MemMAPSDependency})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Unflagged block unchanged; flagged block slower.
+	if dep.Blocks[0].MemSeconds != std.Blocks[0].MemSeconds {
+		t.Fatal("dependency model changed an unflagged block")
+	}
+	if dep.Blocks[1].MemSeconds <= std.Blocks[1].MemSeconds {
+		t.Fatal("dependency model did not slow the flagged block")
+	}
+}
+
+func TestNetworkTerm(t *testing.T) {
+	tr := fakeTrace()
+	pr := fakeProbes("x", 2e9, 1e9, 10e6)
+	with, err := Predict(tr, pr, Options{Memory: MemMAPS, Network: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if with.CommSeconds <= 0 {
+		t.Fatal("no communication time")
+	}
+	// Single-rank job communicates for free.
+	tr1 := fakeTrace()
+	tr1.Procs = 1
+	single, err := Predict(tr1, pr, Options{Memory: MemMAPS, Network: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if single.CommSeconds != 0 {
+		t.Fatalf("1-rank comm = %g", single.CommSeconds)
+	}
+}
+
+func TestPredictErrors(t *testing.T) {
+	tr := fakeTrace()
+	pr := fakeProbes("x", 2e9, 1e9, 10e6)
+	if _, err := Predict(nil, pr, Options{}); err == nil {
+		t.Error("nil trace accepted")
+	}
+	if _, err := Predict(tr, nil, Options{}); err == nil {
+		t.Error("nil probes accepted")
+	}
+	bad := fakeProbes("x", 0, 1e9, 10e6)
+	if _, err := Predict(tr, bad, Options{}); err == nil {
+		t.Error("missing HPL accepted")
+	}
+	noStream := fakeProbes("x", 2e9, 0, 10e6)
+	if _, err := Predict(tr, noStream, Options{Memory: MemStream}); err == nil {
+		t.Error("missing STREAM accepted")
+	}
+	if _, err := Predict(tr, noStream, Options{Memory: MemStreamGups}); err == nil {
+		t.Error("missing STREAM accepted for stream+gups")
+	}
+	noCurves := fakeProbes("x", 2e9, 1e9, 10e6)
+	noCurves.MAPSUnit = probes.Curve{}
+	if _, err := Predict(tr, noCurves, Options{Memory: MemMAPS}); err == nil {
+		t.Error("missing curves accepted")
+	}
+	if _, err := Predict(tr, pr, Options{Memory: MemoryModel(42)}); err == nil {
+		t.Error("unknown memory model accepted")
+	}
+}
+
+func TestMemoryModelString(t *testing.T) {
+	names := map[MemoryModel]string{
+		MemNone: "none", MemStream: "stream", MemStreamGups: "stream+gups",
+		MemMAPS: "maps", MemMAPSDependency: "maps+dep", MemoryModel(42): "memorymodel(42)",
+	}
+	for m, want := range names {
+		if got := m.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int(m), got, want)
+		}
+	}
+}
+
+// Property: doubling every probe rate exactly halves the predicted compute
+// time (scale invariance — the property that makes Metric #4 reduce to
+// Metric #1).
+func TestQuickScaleInvariance(t *testing.T) {
+	tr := fakeTrace()
+	f := func(scaleRaw uint8) bool {
+		scale := float64(scaleRaw%20) + 2
+		base := fakeProbes("a", 2e9, 1e9, 10e6)
+		scaled := fakeProbes("b", 2e9*scale, 1e9*scale, 10e6*scale)
+		p1, err := Predict(tr, base, Options{Memory: MemStreamGups})
+		if err != nil {
+			return false
+		}
+		p2, err := Predict(tr, scaled, Options{Memory: MemStreamGups})
+		if err != nil {
+			return false
+		}
+		return math.Abs(p2.Seconds*scale-p1.Seconds) < 1e-9*p1.Seconds
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: predicted time is monotone non-increasing in any single rate.
+func TestQuickMonotoneInRates(t *testing.T) {
+	tr := fakeTrace()
+	f := func(hplQ, streamQ, gupsQ uint8) bool {
+		hpl := (float64(hplQ) + 1) * 1e8
+		stream := (float64(streamQ) + 1) * 1e8
+		gups := (float64(gupsQ) + 1) * 1e5
+		p1, err := Predict(tr, fakeProbes("a", hpl, stream, gups), Options{Memory: MemStreamGups})
+		if err != nil {
+			return false
+		}
+		p2, err := Predict(tr, fakeProbes("b", hpl*2, stream, gups), Options{Memory: MemStreamGups})
+		if err != nil {
+			return false
+		}
+		return p2.Seconds <= p1.Seconds+1e-15
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

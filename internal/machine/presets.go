@@ -1,0 +1,362 @@
+package machine
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Preset names for the systems of the SC'05 study (paper Tables 1, 2, and
+// 5). BaseSystemName is the NAVO p690 the paper uses as the tracing and
+// normalization base; the other ten are the prediction targets.
+const (
+	ERDCOrigin3800 = "ERDC_O3800"
+	MHPCCPower3    = "MHPCC_P3"
+	NAVOPower3     = "NAVO_P3"
+	ASCSC45        = "ASC_SC45"
+	MHPCC690       = "MHPCC_690_1.3"
+	ARL690         = "ARL_690_1.7"
+	ARLXeon        = "ARL_Xeon"
+	ARLAltix       = "ARL_Altix"
+	NAVO655        = "NAVO_655"
+	ARLOpteron     = "ARL_Opteron"
+
+	BaseSystemName = "NAVO_690"
+)
+
+const (
+	kb = int64(1) << 10
+	mb = int64(1) << 20
+)
+
+// power4 builds the shared POWER4/POWER4+ core description used by the
+// p690 and p655 presets; callers override memory and network.
+func power4(name string, clock float64) *Config {
+	return &Config{
+		Name:                          name,
+		Vendor:                        "IBM",
+		ClockGHz:                      clock,
+		FPPerCycle:                    4, // two FMA pipes
+		FPLatencyCycles:               6,
+		IssueWidth:                    5,
+		LoadStorePerCycle:             2,
+		BranchMispredictPenaltyCycles: 12,
+		MaxOutstandingMisses:          8,
+		PrefetchStreams:               8,
+		PrefetchMaxStride:             2,
+		Caches: []CacheLevel{
+			{Name: "L1", SizeBytes: 32 * kb, LineBytes: 128, Assoc: 2, LatencyCycles: 4, BandwidthBytesPerCycle: 16},
+			{Name: "L2", SizeBytes: 1 * mb, LineBytes: 128, Assoc: 8, LatencyCycles: 12, BandwidthBytesPerCycle: 10},
+			{Name: "L3", SizeBytes: 16 * mb, LineBytes: 512, Assoc: 8, LatencyCycles: 100, BandwidthBytesPerCycle: 4},
+		},
+		MemLatencyNs:      280,
+		MemBandwidthGBs:   1.7,
+		MemLoadedFraction: 0.66, MemLoadedLatencyFactor: 1.15,
+		PageBytes:          4096,
+		TLBEntries:         512,
+		TLBMissPenaltyNs:   120,
+		CoresPerNode:       32,
+		TotalProcs:         1408,
+		MemOverlapFraction: 0.70,
+		Net: Network{
+			LatencyUs: 18, BandwidthMBs: 350, OverheadUs: 3,
+			NICsPerNode: 4, Topology: TopologyColony, ContentionBeta: 0.12,
+		},
+	}
+}
+
+// power3 builds the POWER3-II description shared by the two P3 presets.
+func power3(name string, procs int) *Config {
+	return &Config{
+		Name:                          name,
+		Vendor:                        "IBM",
+		ClockGHz:                      0.375,
+		FPPerCycle:                    4, // two FMA pipes
+		FPLatencyCycles:               4,
+		IssueWidth:                    4,
+		LoadStorePerCycle:             2,
+		BranchMispredictPenaltyCycles: 5,
+		MaxOutstandingMisses:          4,
+		PrefetchStreams:               4,
+		PrefetchMaxStride:             1,
+		Caches: []CacheLevel{
+			{Name: "L1", SizeBytes: 64 * kb, LineBytes: 128, Assoc: 128, LatencyCycles: 2, BandwidthBytesPerCycle: 16},
+			{Name: "L2", SizeBytes: 8 * mb, LineBytes: 128, Assoc: 1, LatencyCycles: 14, BandwidthBytesPerCycle: 8},
+		},
+		MemLatencyNs:      360,
+		MemBandwidthGBs:   0.65,
+		MemLoadedFraction: 0.70, MemLoadedLatencyFactor: 1.15,
+		PageBytes:          4096,
+		TLBEntries:         256,
+		TLBMissPenaltyNs:   110,
+		CoresPerNode:       8,
+		TotalProcs:         procs,
+		MemOverlapFraction: 0.60,
+		Net: Network{
+			LatencyUs: 20, BandwidthMBs: 350, OverheadUs: 4,
+			NICsPerNode: 1, Topology: TopologyColony, ContentionBeta: 0.12,
+		},
+	}
+}
+
+// buildPresets constructs the full preset table. Parameters approximate
+// public specifications of the real systems (see DESIGN.md §2); what the
+// study needs is their diversity of balance, which these preserve.
+func buildPresets() map[string]*Config {
+	m := map[string]*Config{}
+
+	m[ERDCOrigin3800] = &Config{
+		Name:                          ERDCOrigin3800,
+		Vendor:                        "SGI",
+		ClockGHz:                      0.4,
+		FPPerCycle:                    2, // R14000: one FMA pipe
+		FPLatencyCycles:               4,
+		IssueWidth:                    4,
+		LoadStorePerCycle:             1,
+		BranchMispredictPenaltyCycles: 6,
+		MaxOutstandingMisses:          4,
+		PrefetchStreams:               2,
+		PrefetchMaxStride:             1,
+		Caches: []CacheLevel{
+			{Name: "L1", SizeBytes: 32 * kb, LineBytes: 32, Assoc: 2, LatencyCycles: 2, BandwidthBytesPerCycle: 8},
+			{Name: "L2", SizeBytes: 8 * mb, LineBytes: 128, Assoc: 2, LatencyCycles: 16, BandwidthBytesPerCycle: 3.5},
+		},
+		MemLatencyNs:      390,
+		MemBandwidthGBs:   0.55,
+		MemLoadedFraction: 0.66, MemLoadedLatencyFactor: 1.15,
+		PageBytes:          16 * kb,
+		TLBEntries:         64,
+		TLBMissPenaltyNs:   180,
+		CoresPerNode:       4,
+		TotalProcs:         504,
+		MemOverlapFraction: 0.60,
+		Net: Network{
+			LatencyUs: 4, BandwidthMBs: 220, OverheadUs: 1.5,
+			NICsPerNode: 1, Topology: TopologyNUMALink, ContentionBeta: 0.15,
+		},
+	}
+
+	m[MHPCCPower3] = power3(MHPCCPower3, 736)
+	navoP3 := power3(NAVOPower3, 928)
+	navoP3.MemBandwidthGBs = 0.68 // newer memory parts than the MHPCC system
+	m[NAVOPower3] = navoP3
+
+	m[ASCSC45] = &Config{
+		Name:                          ASCSC45,
+		Vendor:                        "HP",
+		ClockGHz:                      1.0,
+		FPPerCycle:                    2, // EV68: add + multiply pipes
+		FPLatencyCycles:               4,
+		IssueWidth:                    4,
+		LoadStorePerCycle:             2,
+		BranchMispredictPenaltyCycles: 7,
+		MaxOutstandingMisses:          8,
+		PrefetchStreams:               4,
+		PrefetchMaxStride:             1,
+		Caches: []CacheLevel{
+			{Name: "L1", SizeBytes: 64 * kb, LineBytes: 64, Assoc: 2, LatencyCycles: 3, BandwidthBytesPerCycle: 16},
+			{Name: "L2", SizeBytes: 8 * mb, LineBytes: 64, Assoc: 1, LatencyCycles: 20, BandwidthBytesPerCycle: 8},
+		},
+		MemLatencyNs:      190,
+		MemBandwidthGBs:   1.15,
+		MemLoadedFraction: 0.80, MemLoadedLatencyFactor: 1.15,
+		PageBytes:          8 * kb,
+		TLBEntries:         128,
+		TLBMissPenaltyNs:   100,
+		CoresPerNode:       4,
+		TotalProcs:         472,
+		MemOverlapFraction: 0.80,
+		Net: Network{
+			LatencyUs: 5, BandwidthMBs: 280, OverheadUs: 1.5,
+			NICsPerNode: 1, Topology: TopologyFatTree, ContentionBeta: 0.15,
+		},
+	}
+
+	// The NAVO p690 base system: same POWER4 family as the p690/p655
+	// targets but a distinct installation — Federation-upgraded switch,
+	// different memory configuration (fewer active memory cards per LPAR,
+	// hence lower sustained bandwidth and slightly longer latency), and
+	// larger partitions.
+	p690Base := power4(BaseSystemName, 1.3)
+	p690Base.Net.LatencyUs = 9
+	p690Base.Net.BandwidthMBs = 1200
+	p690Base.MemBandwidthGBs = 1.45
+	p690Base.MemLatencyNs = 310
+	p690Base.MemLoadedFraction = 0.60
+	p690Base.PrefetchStreams = 6
+	m[BaseSystemName] = p690Base
+
+	mhpcc690 := power4(MHPCC690, 1.3)
+	mhpcc690.TotalProcs = 320
+	m[MHPCC690] = mhpcc690
+
+	arl690 := power4(ARL690, 1.7)
+	arl690.MemBandwidthGBs = 2.1
+	arl690.MemLatencyNs = 260
+	arl690.TotalProcs = 128
+	arl690.Net = Network{
+		LatencyUs: 8, BandwidthMBs: 1400, OverheadUs: 2,
+		NICsPerNode: 2, Topology: TopologyFatTree, ContentionBeta: 0.2,
+	}
+	m[ARL690] = arl690
+
+	m[ARLXeon] = &Config{
+		Name:                          ARLXeon,
+		Vendor:                        "LNX",
+		ClockGHz:                      3.06,
+		FPPerCycle:                    2, // SSE2
+		FPLatencyCycles:               5,
+		IssueWidth:                    3,
+		LoadStorePerCycle:             1,
+		BranchMispredictPenaltyCycles: 20,
+		MaxOutstandingMisses:          8,
+		PrefetchStreams:               8,
+		PrefetchMaxStride:             2,
+		Caches: []CacheLevel{
+			{Name: "L1", SizeBytes: 8 * kb, LineBytes: 64, Assoc: 4, LatencyCycles: 2, BandwidthBytesPerCycle: 16},
+			{Name: "L2", SizeBytes: 512 * kb, LineBytes: 128, Assoc: 8, LatencyCycles: 18, BandwidthBytesPerCycle: 10},
+		},
+		MemLatencyNs:      230,
+		MemBandwidthGBs:   1.05, // dual CPUs share one front-side bus
+		MemLoadedFraction: 0.72, MemLoadedLatencyFactor: 1.15,
+		PageBytes:          4096,
+		TLBEntries:         64,
+		TLBMissPenaltyNs:   190,
+		CoresPerNode:       2,
+		TotalProcs:         256,
+		MemOverlapFraction: 0.70,
+		Net: Network{
+			LatencyUs: 9, BandwidthMBs: 240, OverheadUs: 2.5,
+			NICsPerNode: 1, Topology: TopologyClos, ContentionBeta: 0.2,
+		},
+	}
+
+	m[ARLAltix] = &Config{
+		Name:                          ARLAltix,
+		Vendor:                        "SGI",
+		ClockGHz:                      1.5,
+		FPPerCycle:                    4, // Itanium2: two FMA units
+		FPLatencyCycles:               4,
+		IssueWidth:                    6,
+		LoadStorePerCycle:             4, // FP loads served by L2 at high width
+		BranchMispredictPenaltyCycles: 6,
+		MaxOutstandingMisses:          16,
+		PrefetchStreams:               4, // compiler-directed prefetch, modeled as streams
+		PrefetchMaxStride:             2,
+		Caches: []CacheLevel{
+			{Name: "L1", SizeBytes: 16 * kb, LineBytes: 64, Assoc: 4, LatencyCycles: 1, BandwidthBytesPerCycle: 16},
+			{Name: "L2", SizeBytes: 256 * kb, LineBytes: 128, Assoc: 8, LatencyCycles: 6, BandwidthBytesPerCycle: 32},
+			{Name: "L3", SizeBytes: 12 * mb, LineBytes: 128, Assoc: 12, LatencyCycles: 15, BandwidthBytesPerCycle: 16},
+		},
+		MemLatencyNs:      120,
+		MemBandwidthGBs:   1.55,
+		MemLoadedFraction: 0.70, MemLoadedLatencyFactor: 1.15,
+		PageBytes:          16 * kb,
+		TLBEntries:         512,
+		TLBMissPenaltyNs:   130,
+		CoresPerNode:       2,
+		TotalProcs:         256,
+		MemOverlapFraction: 0.50, // in-order core
+		Net: Network{
+			LatencyUs: 2, BandwidthMBs: 900, OverheadUs: 1,
+			NICsPerNode: 1, Topology: TopologyNUMALink, ContentionBeta: 0.12,
+		},
+	}
+
+	p655 := power4(NAVO655, 1.7)
+	p655.Name = NAVO655
+	p655.MemBandwidthGBs = 2.3
+	p655.MemLatencyNs = 250
+	p655.MemLoadedFraction = 0.74
+	p655.MemLoadedLatencyFactor = 1.15
+	p655.CoresPerNode = 8 // p655 nodes: fewer cores contending per memory complex
+	p655.TotalProcs = 2832
+	p655.Caches[0].BandwidthBytesPerCycle = 32 // p655's faster L1 datapath
+	p655.Net = Network{
+		LatencyUs: 7, BandwidthMBs: 1400, OverheadUs: 2,
+		NICsPerNode: 2, Topology: TopologyFatTree, ContentionBeta: 0.2,
+	}
+	m[NAVO655] = p655
+
+	m[ARLOpteron] = &Config{
+		Name:                          ARLOpteron,
+		Vendor:                        "IBM",
+		ClockGHz:                      2.2,
+		FPPerCycle:                    2, // K8: add + multiply pipes
+		FPLatencyCycles:               4,
+		IssueWidth:                    3,
+		LoadStorePerCycle:             2,
+		BranchMispredictPenaltyCycles: 11,
+		MaxOutstandingMisses:          8,
+		PrefetchStreams:               8,
+		PrefetchMaxStride:             1,
+		Caches: []CacheLevel{
+			{Name: "L1", SizeBytes: 64 * kb, LineBytes: 64, Assoc: 2, LatencyCycles: 3, BandwidthBytesPerCycle: 16},
+			{Name: "L2", SizeBytes: 1 * mb, LineBytes: 64, Assoc: 16, LatencyCycles: 13, BandwidthBytesPerCycle: 8},
+		},
+		MemLatencyNs:      125, // integrated memory controller
+		MemBandwidthGBs:   3.4,
+		MemLoadedFraction: 0.88, MemLoadedLatencyFactor: 1.12,
+		PageBytes:          4096,
+		TLBEntries:         512,
+		TLBMissPenaltyNs:   95,
+		CoresPerNode:       2,
+		TotalProcs:         2304,
+		MemOverlapFraction: 0.80,
+		Net: Network{
+			LatencyUs: 8, BandwidthMBs: 245, OverheadUs: 2.5,
+			NICsPerNode: 1, Topology: TopologyClos, ContentionBeta: 0.2,
+		},
+	}
+
+	return m
+}
+
+var presets = buildPresets()
+
+// studyTargets is the paper's Table 5 row order.
+var studyTargets = []string{
+	ERDCOrigin3800, MHPCCPower3, NAVOPower3, ASCSC45, MHPCC690,
+	ARL690, ARLXeon, ARLAltix, NAVO655, ARLOpteron,
+}
+
+// Preset returns a deep copy of the named machine configuration.
+func Preset(name string) (*Config, error) {
+	cfg, ok := presets[name]
+	if !ok {
+		return nil, fmt.Errorf("machine: unknown preset %q (have %v)", name, Names())
+	}
+	return cfg.Clone(), nil
+}
+
+// MustPreset is Preset for static names; it panics on unknown names.
+func MustPreset(name string) *Config {
+	cfg, err := Preset(name)
+	if err != nil {
+		panic(err)
+	}
+	return cfg
+}
+
+// Names returns all preset names in sorted order.
+func Names() []string {
+	out := make([]string, 0, len(presets))
+	for name := range presets {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// StudyTargets returns fresh copies of the ten prediction-target systems in
+// the paper's Table 5 order.
+func StudyTargets() []*Config {
+	out := make([]*Config, len(studyTargets))
+	for i, name := range studyTargets {
+		out[i] = presets[name].Clone()
+	}
+	return out
+}
+
+// Base returns a fresh copy of the base (tracing/normalization) system, the
+// NAVO p690.
+func Base() *Config { return presets[BaseSystemName].Clone() }

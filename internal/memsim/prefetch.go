@@ -1,0 +1,146 @@
+package memsim
+
+// prefetcher models a hardware stride prefetcher trained on the L1 miss
+// stream, at line granularity. Each tracked stream remembers the last miss
+// line and the stride between its last two misses. A miss that lands where
+// a confident stream predicted is "covered": the fill was in flight before
+// the demand reference, so the reference pays bandwidth, not latency.
+type prefetcher struct {
+	streams   []pfStream
+	maxStride int64
+	clock     uint64
+}
+
+type pfStream struct {
+	lastLine   uint64
+	stride     int64
+	confidence int
+	lastUsed   uint64
+	valid      bool
+}
+
+// newPrefetcher returns a prefetcher with n stream slots; n == 0 yields a
+// prefetcher that never covers (machines without hardware prefetch).
+func newPrefetcher(n int, maxStride int64) *prefetcher {
+	if maxStride < 1 {
+		maxStride = 1
+	}
+	return &prefetcher{streams: make([]pfStream, n), maxStride: maxStride}
+}
+
+func (p *prefetcher) reset() {
+	for i := range p.streams {
+		p.streams[i] = pfStream{}
+	}
+	p.clock = 0
+}
+
+// observeMiss trains on one miss line and reports whether the miss was
+// covered by an existing confident stream.
+func (p *prefetcher) observeMiss(line uint64) bool {
+	if len(p.streams) == 0 {
+		return false
+	}
+	p.clock++
+
+	// Match: a stream whose last line is within maxStride lines.
+	for i := range p.streams {
+		st := &p.streams[i]
+		if !st.valid {
+			continue
+		}
+		delta := int64(line) - int64(st.lastLine)
+		if delta == 0 {
+			st.lastUsed = p.clock
+			return st.confidence >= 1 // re-miss on a tracked line: in flight
+		}
+		mag := delta
+		if mag < 0 {
+			mag = -mag
+		}
+		if mag > p.maxStride {
+			continue
+		}
+		covered := st.confidence >= 1 && delta == st.stride
+		if delta == st.stride {
+			st.confidence++
+		} else {
+			st.stride = delta
+			st.confidence = 0
+		}
+		st.lastLine = line
+		st.lastUsed = p.clock
+		return covered
+	}
+
+	// No match: claim the LRU slot for a potential new stream.
+	lru, lruUsed := 0, ^uint64(0)
+	for i := range p.streams {
+		if !p.streams[i].valid {
+			lru = i
+			break
+		}
+		if p.streams[i].lastUsed < lruUsed {
+			lru, lruUsed = i, p.streams[i].lastUsed
+		}
+	}
+	p.streams[lru] = pfStream{lastLine: line, lastUsed: p.clock, valid: true}
+	return false
+}
+
+// tlb models a data TLB as a set-associative translation cache (4-way,
+// LRU within the set), which matches real D-TLB organizations and keeps
+// the lookup a short array scan. Capacity is rounded up to the nearest
+// 4-way power-of-two organization.
+type tlb struct {
+	sets     [][tlbWays]uint64 // page tags, MRU first; emptyPage = invalid
+	setMask  uint64
+	pageShft uint
+}
+
+const (
+	tlbWays   = 4
+	emptyPage = ^uint64(0)
+)
+
+func newTLB(entries int, pageBytes int64) *tlb {
+	nSets := 1
+	for nSets*tlbWays < entries {
+		nSets <<= 1
+	}
+	t := &tlb{
+		sets:    make([][tlbWays]uint64, nSets),
+		setMask: uint64(nSets - 1),
+	}
+	for b := pageBytes; b > 1; b >>= 1 {
+		t.pageShft++
+	}
+	t.reset()
+	return t
+}
+
+func (t *tlb) reset() {
+	for i := range t.sets {
+		for w := range t.sets[i] {
+			t.sets[i][w] = emptyPage
+		}
+	}
+}
+
+// access reports whether the page is resident, inserting it if not.
+func (t *tlb) access(addr uint64) bool {
+	page := addr >> t.pageShft
+	set := &t.sets[page&t.setMask]
+	for w := 0; w < tlbWays; w++ {
+		if set[w] == page {
+			// Move to MRU.
+			copy(set[1:w+1], set[:w])
+			set[0] = page
+			return true
+		}
+	}
+	// Miss: insert at MRU, evicting the LRU way.
+	copy(set[1:], set[:tlbWays-1])
+	set[0] = page
+	return false
+}

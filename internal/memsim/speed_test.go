@@ -1,0 +1,28 @@
+package memsim
+
+import (
+	"testing"
+
+	"hpcmetrics/internal/access"
+	"hpcmetrics/internal/machine"
+)
+
+func BenchmarkAccessUnit(b *testing.B) {
+	sim, _ := New(machine.MustPreset(machine.MHPCC690))
+	stream, _ := access.NewStream(access.StreamSpec{WorkingSetBytes: 32 << 20, Mix: access.Mix{Unit: 1}, Seed: 1})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ref := stream.Next()
+		sim.Access(ref.Addr, ref.Store)
+	}
+}
+
+func BenchmarkAccessRandom(b *testing.B) {
+	sim, _ := New(machine.MustPreset(machine.MHPCC690))
+	stream, _ := access.NewStream(access.StreamSpec{WorkingSetBytes: 256 << 20, Mix: access.Mix{Random: 1}, Seed: 1})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ref := stream.Next()
+		sim.Access(ref.Addr, ref.Store)
+	}
+}

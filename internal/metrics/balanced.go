@@ -1,0 +1,106 @@
+package metrics
+
+import (
+	"fmt"
+
+	"hpcmetrics/internal/probes"
+	"hpcmetrics/internal/stats"
+)
+
+// Balanced rating (the paper's Section 4 side experiment, after IDC's
+// Balanced Rating): normalize three category scores — processor (HPL),
+// memory (STREAM), and interconnect (NETBENCH all_reduce) — to [0,1]
+// across the system pool, combine them with weights, and predict runtime
+// by the composite's ratio. The paper evaluates equal weights and
+// regression-optimized weights (reporting 5%/50%/45%).
+
+// EqualWeights is IDC's original equal weighting.
+var EqualWeights = stats.Weights3{1.0 / 3, 1.0 / 3, 1.0 / 3}
+
+// Rating is a balanced rating calibrated against a pool of systems.
+type Rating struct {
+	Weights stats.Weights3
+	// Normalizers: the pool maxima for each category rate.
+	maxHPL, maxStream, maxAllReduceRate float64
+}
+
+// NewRating builds a rating normalized over the pool. The all_reduce
+// category scores the *rate* 1/time, so bigger is better in every
+// category.
+func NewRating(pool []*probes.Results, w stats.Weights3) (*Rating, error) {
+	if len(pool) == 0 {
+		return nil, fmt.Errorf("metrics: balanced rating needs a system pool")
+	}
+	r := &Rating{Weights: w}
+	for _, pr := range pool {
+		if pr.HPLFlopsPerSec > r.maxHPL {
+			r.maxHPL = pr.HPLFlopsPerSec
+		}
+		if pr.StreamBytesPerSec > r.maxStream {
+			r.maxStream = pr.StreamBytesPerSec
+		}
+		if pr.Net.AllReduce8At64 > 0 {
+			if rate := 1 / pr.Net.AllReduce8At64; rate > r.maxAllReduceRate {
+				r.maxAllReduceRate = rate
+			}
+		}
+	}
+	if r.maxHPL <= 0 || r.maxStream <= 0 || r.maxAllReduceRate <= 0 {
+		return nil, fmt.Errorf("metrics: balanced rating pool has degenerate categories")
+	}
+	return r, nil
+}
+
+// Score returns the composite balanced rating in [0,1].
+func (r *Rating) Score(pr *probes.Results) float64 {
+	var arRate float64
+	if pr.Net.AllReduce8At64 > 0 {
+		arRate = 1 / pr.Net.AllReduce8At64
+	}
+	return r.Weights[0]*pr.HPLFlopsPerSec/r.maxHPL +
+		r.Weights[1]*pr.StreamBytesPerSec/r.maxStream +
+		r.Weights[2]*arRate/r.maxAllReduceRate
+}
+
+// Predict applies Equation 1 with the composite score as the rate.
+func (r *Rating) Predict(base, target *probes.Results, baseSeconds float64) (float64, error) {
+	sb, st := r.Score(base), r.Score(target)
+	if sb <= 0 || st <= 0 {
+		return 0, fmt.Errorf("metrics: balanced rating score non-positive (base %g, target %g)", sb, st)
+	}
+	return baseSeconds * sb / st, nil
+}
+
+// OptimizeRating finds the simplex weights minimizing the mean absolute
+// error of the rating's predictions over a set of observations. Each
+// observation supplies the target's probe results and the actual runtime,
+// along with the shared base. step is the grid resolution (the paper's
+// weights suggest 0.05).
+type RatingObservation struct {
+	Base, Target  *probes.Results
+	BaseSeconds   float64
+	ActualSeconds float64
+}
+
+// OptimizeRating grid-searches the weight simplex.
+func OptimizeRating(pool []*probes.Results, obs []RatingObservation, step float64) (stats.Weights3, float64, error) {
+	if len(obs) == 0 {
+		return stats.Weights3{}, 0, fmt.Errorf("metrics: no observations to optimize over")
+	}
+	objective := func(w stats.Weights3) float64 {
+		r, err := NewRating(pool, w)
+		if err != nil {
+			return 1e300
+		}
+		var errs []float64
+		for _, o := range obs {
+			pred, err := r.Predict(o.Base, o.Target, o.BaseSeconds)
+			if err != nil {
+				return 1e300
+			}
+			errs = append(errs, SignedError(pred, o.ActualSeconds))
+		}
+		return stats.Summarize(errs).MeanAbs
+	}
+	return stats.OptimizeSimplex3(step, objective)
+}

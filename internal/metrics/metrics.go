@@ -1,0 +1,131 @@
+// Package metrics implements the nine prediction metrics of the study
+// (paper Table 3) plus the IDC-style balanced rating side experiment.
+//
+// Simple metrics (#1-#3) predict a target system's runtime from a single
+// benchmark ratio (Equation 1): the application is assumed faster or
+// slower exactly as the benchmark is. Predictive metrics (#4-#9) convolve
+// an application trace with probe rates (internal/convolve) at increasing
+// rate resolution, then scale relative to the base system. Errors follow
+// Equation 2: (predicted - actual)/actual × 100, negative meaning the
+// prediction was optimistic.
+package metrics
+
+import (
+	"fmt"
+
+	"hpcmetrics/internal/convolve"
+	"hpcmetrics/internal/probes"
+	"hpcmetrics/internal/trace"
+)
+
+// Kind distinguishes the two methodologies.
+type Kind int
+
+const (
+	// Simple predicts by a single benchmark ratio.
+	Simple Kind = iota
+	// Predictive predicts by trace convolution.
+	Predictive
+)
+
+// String names the kind the way the paper's tables do.
+func (k Kind) String() string {
+	if k == Simple {
+		return "S"
+	}
+	return "P"
+}
+
+// Metric is one row of the paper's Table 3.
+type Metric struct {
+	ID   int
+	Kind Kind
+	Name string
+	// rate extracts the simple-benchmark rate (Simple metrics only).
+	rate func(pr *probes.Results) float64
+	// conv selects the convolver's transfer-function terms (Predictive
+	// metrics only).
+	conv convolve.Options
+}
+
+// All returns the nine metrics in paper order.
+func All() []Metric {
+	return []Metric{
+		{ID: 1, Kind: Simple, Name: "HPL", rate: func(pr *probes.Results) float64 { return pr.HPLFlopsPerSec }},
+		{ID: 2, Kind: Simple, Name: "STREAM", rate: func(pr *probes.Results) float64 { return pr.StreamBytesPerSec }},
+		{ID: 3, Kind: Simple, Name: "GUPS", rate: func(pr *probes.Results) float64 { return pr.GUPSRefsPerSec }},
+		{ID: 4, Kind: Predictive, Name: "HPL", conv: convolve.Options{Memory: convolve.MemNone}},
+		{ID: 5, Kind: Predictive, Name: "HPL+STREAM", conv: convolve.Options{Memory: convolve.MemStream}},
+		{ID: 6, Kind: Predictive, Name: "HPL+STREAM+GUPS", conv: convolve.Options{Memory: convolve.MemStreamGups}},
+		{ID: 7, Kind: Predictive, Name: "HPL+MAPS", conv: convolve.Options{Memory: convolve.MemMAPS}},
+		{ID: 8, Kind: Predictive, Name: "HPL+MAPS+NET", conv: convolve.Options{Memory: convolve.MemMAPS, Network: true}},
+		{ID: 9, Kind: Predictive, Name: "HPL+MAPS+NET+DEP", conv: convolve.Options{Memory: convolve.MemMAPSDependency, Network: true}},
+	}
+}
+
+// ByID returns the metric with the given Table 3 number.
+func ByID(id int) (Metric, error) {
+	for _, m := range All() {
+		if m.ID == id {
+			return m, nil
+		}
+	}
+	return Metric{}, fmt.Errorf("metrics: no metric #%d", id)
+}
+
+// Label returns the table label, e.g. "6-P".
+func (m Metric) Label() string { return fmt.Sprintf("%d-%s", m.ID, m.Kind) }
+
+// Context carries everything a prediction needs.
+type Context struct {
+	// Trace is the application signature from the base system
+	// (Predictive metrics only; Simple metrics ignore it).
+	Trace *trace.Trace
+	// Base and Target are the probe suites of the two machines.
+	Base, Target *probes.Results
+	// BaseSeconds is the observed runtime on the base system.
+	BaseSeconds float64
+}
+
+// Predict returns the predicted wall-clock seconds on the target system.
+func (m Metric) Predict(ctx Context) (float64, error) {
+	if ctx.Base == nil || ctx.Target == nil {
+		return 0, fmt.Errorf("metrics: %s: missing probe results", m.Label())
+	}
+	if ctx.BaseSeconds <= 0 {
+		return 0, fmt.Errorf("metrics: %s: non-positive base time %g", m.Label(), ctx.BaseSeconds)
+	}
+	switch m.Kind {
+	case Simple:
+		rb, rt := m.rate(ctx.Base), m.rate(ctx.Target)
+		if rb <= 0 || rt <= 0 {
+			return 0, fmt.Errorf("metrics: %s: non-positive rate (base %g, target %g)", m.Label(), rb, rt)
+		}
+		// Equation 1: runtime scales inversely with the benchmark rate.
+		return ctx.BaseSeconds * rb / rt, nil
+	case Predictive:
+		if ctx.Trace == nil {
+			return 0, fmt.Errorf("metrics: %s: predictive metric needs a trace", m.Label())
+		}
+		pt, err := convolve.Predict(ctx.Trace, ctx.Target, m.conv)
+		if err != nil {
+			return 0, err
+		}
+		pb, err := convolve.Predict(ctx.Trace, ctx.Base, m.conv)
+		if err != nil {
+			return 0, err
+		}
+		if pb.Seconds <= 0 {
+			return 0, fmt.Errorf("metrics: %s: zero convolver time on base", m.Label())
+		}
+		return ctx.BaseSeconds * pt.Seconds / pb.Seconds, nil
+	default:
+		return 0, fmt.Errorf("metrics: unknown kind %d", m.Kind)
+	}
+}
+
+// SignedError is Equation 2: percent deviation of the prediction from the
+// actual runtime; negative means the prediction was faster than reality.
+func SignedError(predicted, actual float64) float64 {
+	return (predicted - actual) / actual * 100
+}

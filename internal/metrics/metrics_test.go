@@ -1,0 +1,254 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"hpcmetrics/internal/access"
+	"hpcmetrics/internal/probes"
+	"hpcmetrics/internal/stats"
+	"hpcmetrics/internal/trace"
+)
+
+func fakeProbes(name string, hpl, streamBps, gups float64) *probes.Results {
+	curve := func(rate float64) probes.Curve {
+		return probes.Curve{
+			SizesBytes: []int64{8 << 10, 64 << 20},
+			RefsPerSec: []float64{rate * 3, rate},
+		}
+	}
+	return &probes.Results{
+		Machine:           name,
+		HPLFlopsPerSec:    hpl,
+		StreamBytesPerSec: streamBps,
+		GUPSRefsPerSec:    gups,
+		MAPSUnit:          curve(streamBps / 8),
+		MAPSRandom:        curve(gups),
+		DepUnit:           curve(streamBps / 16),
+		DepRandom:         curve(gups / 2),
+		Net: probes.NetResults{
+			LatencySeconds: 5e-6, BandwidthBytesPerSec: 300e6, AllReduce8At64: 50e-6,
+		},
+		OverlapFraction: 0.7,
+	}
+}
+
+func fakeTrace() *trace.Trace {
+	return &trace.Trace{
+		App: "fake", Case: "t", Procs: 32, BaseSystem: "base",
+		Blocks: []trace.BlockTrace{
+			{
+				Name: "b", Iters: 1e6, FlopsPerIter: 40, MemOpsPerIter: 16,
+				Mix:             access.Mix{Unit: 0.8, Random: 0.2},
+				WorkingSetBytes: 16 << 20,
+			},
+		},
+	}
+}
+
+func TestAllNineMetrics(t *testing.T) {
+	all := All()
+	if len(all) != 9 {
+		t.Fatalf("%d metrics", len(all))
+	}
+	wantKinds := []Kind{Simple, Simple, Simple, Predictive, Predictive, Predictive, Predictive, Predictive, Predictive}
+	for i, m := range all {
+		if m.ID != i+1 {
+			t.Errorf("metric %d has ID %d", i, m.ID)
+		}
+		if m.Kind != wantKinds[i] {
+			t.Errorf("metric %d kind %v", m.ID, m.Kind)
+		}
+	}
+}
+
+func TestByID(t *testing.T) {
+	m, err := ByID(6)
+	if err != nil || m.Name != "HPL+STREAM+GUPS" {
+		t.Fatalf("ByID(6) = %+v, %v", m, err)
+	}
+	if _, err := ByID(10); err == nil {
+		t.Fatal("ByID(10) accepted")
+	}
+}
+
+func TestLabels(t *testing.T) {
+	m1, _ := ByID(1)
+	m9, _ := ByID(9)
+	if m1.Label() != "1-S" || m9.Label() != "9-P" {
+		t.Fatalf("labels %s %s", m1.Label(), m9.Label())
+	}
+}
+
+func TestSimpleMetricEquationOne(t *testing.T) {
+	// Target twice as fast on the benchmark -> half the predicted time.
+	base := fakeProbes("base", 2e9, 1e9, 10e6)
+	target := fakeProbes("tgt", 4e9, 1e9, 10e6)
+	m, _ := ByID(1)
+	pred, err := m.Predict(Context{Base: base, Target: target, BaseSeconds: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(pred-500) > 1e-9 {
+		t.Fatalf("HPL-doubled prediction = %g, want 500", pred)
+	}
+}
+
+func TestMetric4EqualsMetric1(t *testing.T) {
+	// The paper's sanity check: the convolver with FP-only rates reduces
+	// exactly to the HPL ratio.
+	tr := fakeTrace()
+	base := fakeProbes("base", 2e9, 1e9, 10e6)
+	target := fakeProbes("tgt", 3.1e9, 0.7e9, 6e6)
+	m1, _ := ByID(1)
+	m4, _ := ByID(4)
+	ctx := Context{Trace: tr, Base: base, Target: target, BaseSeconds: 1234}
+	p1, err := m1.Predict(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p4, err := m4.Predict(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p1-p4) > 1e-9*p1 {
+		t.Fatalf("metric 4 (%g) != metric 1 (%g)", p4, p1)
+	}
+}
+
+func TestIdenticalMachinesPredictBaseTime(t *testing.T) {
+	tr := fakeTrace()
+	base := fakeProbes("base", 2e9, 1e9, 10e6)
+	target := fakeProbes("tgt", 2e9, 1e9, 10e6)
+	for _, m := range All() {
+		pred, err := m.Predict(Context{Trace: tr, Base: base, Target: target, BaseSeconds: 777})
+		if err != nil {
+			t.Fatalf("%s: %v", m.Label(), err)
+		}
+		if math.Abs(pred-777) > 1e-9 {
+			t.Errorf("%s: identical machines predict %g, want 777", m.Label(), pred)
+		}
+	}
+}
+
+func TestPredictErrors(t *testing.T) {
+	tr := fakeTrace()
+	base := fakeProbes("base", 2e9, 1e9, 10e6)
+	target := fakeProbes("tgt", 2e9, 1e9, 10e6)
+	m6, _ := ByID(6)
+	if _, err := m6.Predict(Context{Base: base, Target: target, BaseSeconds: 10}); err == nil {
+		t.Error("predictive metric without trace accepted")
+	}
+	if _, err := m6.Predict(Context{Trace: tr, Target: target, BaseSeconds: 10}); err == nil {
+		t.Error("missing base probes accepted")
+	}
+	if _, err := m6.Predict(Context{Trace: tr, Base: base, Target: target, BaseSeconds: 0}); err == nil {
+		t.Error("zero base time accepted")
+	}
+	m1, _ := ByID(1)
+	broken := fakeProbes("tgt", 0, 1e9, 10e6)
+	if _, err := m1.Predict(Context{Base: base, Target: broken, BaseSeconds: 10}); err == nil {
+		t.Error("zero rate accepted")
+	}
+}
+
+func TestSignedError(t *testing.T) {
+	if got := SignedError(150, 100); got != 50 {
+		t.Errorf("SignedError(150,100) = %g", got)
+	}
+	if got := SignedError(50, 100); got != -50 {
+		t.Errorf("SignedError(50,100) = %g", got)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Simple.String() != "S" || Predictive.String() != "P" {
+		t.Fatal("Kind.String wrong")
+	}
+}
+
+// --- Balanced rating ---
+
+func pool() []*probes.Results {
+	return []*probes.Results{
+		fakeProbes("a", 4e9, 1e9, 10e6),
+		fakeProbes("b", 2e9, 2e9, 20e6),
+		fakeProbes("c", 1e9, 0.5e9, 5e6),
+	}
+}
+
+func TestRatingScoresWithinUnit(t *testing.T) {
+	r, err := NewRating(pool(), EqualWeights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pr := range pool() {
+		s := r.Score(pr)
+		if s <= 0 || s > 1.0001 {
+			t.Errorf("%s score %g outside (0,1]", pr.Machine, s)
+		}
+	}
+}
+
+func TestRatingPredictRatio(t *testing.T) {
+	p := pool()
+	r, err := NewRating(p, EqualWeights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Identical base and target must predict the base time.
+	pred, err := r.Predict(p[0], p[0], 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(pred-500) > 1e-9 {
+		t.Fatalf("identical rating prediction %g", pred)
+	}
+}
+
+func TestNewRatingErrors(t *testing.T) {
+	if _, err := NewRating(nil, EqualWeights); err == nil {
+		t.Error("empty pool accepted")
+	}
+	degenerate := []*probes.Results{fakeProbes("x", 0, 0, 0)}
+	if _, err := NewRating(degenerate, EqualWeights); err == nil {
+		t.Error("degenerate pool accepted")
+	}
+}
+
+func TestOptimizeRatingFindsBetterWeights(t *testing.T) {
+	p := pool()
+	base := p[0]
+	// Construct observations in which machine b (memory-strong) is truly
+	// 2x faster than base: optimal weights should then emphasize memory.
+	obs := []RatingObservation{
+		{Base: base, Target: p[1], BaseSeconds: 1000, ActualSeconds: 500},
+		{Base: base, Target: p[2], BaseSeconds: 1000, ActualSeconds: 2000},
+	}
+	w, val, err := OptimizeRating(p, obs, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fixed, err := NewRating(p, EqualWeights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fixedErrs []float64
+	for _, o := range obs {
+		pred, err := fixed.Predict(o.Base, o.Target, o.BaseSeconds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fixedErrs = append(fixedErrs, SignedError(pred, o.ActualSeconds))
+	}
+	fixedVal := stats.Summarize(fixedErrs).MeanAbs
+	if val > fixedVal+1e-9 {
+		t.Fatalf("optimized weights %v (%.1f%%) worse than fixed (%.1f%%)", w, val, fixedVal)
+	}
+}
+
+func TestOptimizeRatingNeedsObservations(t *testing.T) {
+	if _, _, err := OptimizeRating(pool(), nil, 0.1); err == nil {
+		t.Fatal("no observations accepted")
+	}
+}

@@ -1,0 +1,40 @@
+package netsim_test
+
+import (
+	"fmt"
+
+	"hpcmetrics/internal/machine"
+	"hpcmetrics/internal/netsim"
+)
+
+// ExampleModel_AllReduce compares an 8-byte allreduce on a low-latency
+// NUMALink fabric against the Colony switch — the latency sensitivity that
+// makes HYCOM's barotropic solver care about the interconnect.
+func ExampleModel_AllReduce() {
+	altix, err := netsim.New(machine.MustPreset(machine.ARLAltix), 64)
+	if err != nil {
+		panic(err)
+	}
+	p3, err := netsim.New(machine.MustPreset(machine.MHPCCPower3), 64)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("Altix faster: %v\n", altix.AllReduce(8) < p3.AllReduce(8))
+	// Output:
+	// Altix faster: true
+}
+
+// ExampleModel_Time prices a per-timestep communication profile.
+func ExampleModel_Time() {
+	m, err := netsim.New(machine.MustPreset(machine.NAVO655), 128)
+	if err != nil {
+		panic(err)
+	}
+	perStep := []netsim.Event{
+		{Op: netsim.OpPointToPoint, Bytes: 32 << 10, Count: 6}, // halo
+		{Op: netsim.OpAllReduce, Bytes: 8, Count: 2},           // norms
+	}
+	fmt.Printf("positive cost: %v\n", m.Time(perStep) > 0)
+	// Output:
+	// positive cost: true
+}

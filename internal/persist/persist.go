@@ -1,0 +1,107 @@
+// Package persist serializes the study's expensive artifacts — traces and
+// probe results — as versioned JSON files, so the paper's workflow economy
+// holds here too: trace once per application on the base system, probe
+// once per target machine, and reuse both for every later prediction
+// (the paper stresses tracing "is only required once per application").
+package persist
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"hpcmetrics/internal/probes"
+	"hpcmetrics/internal/trace"
+)
+
+// FormatVersion guards files against schema drift: files written by a
+// different major version are rejected rather than misread.
+const FormatVersion = 1
+
+// envelope wraps any payload with identification and version.
+type envelope struct {
+	Format  string          `json:"format"`
+	Version int             `json:"version"`
+	Payload json.RawMessage `json:"payload"`
+}
+
+const (
+	formatTrace  = "hpcmetrics-trace"
+	formatProbes = "hpcmetrics-probes"
+)
+
+func save(path, format string, payload any) error {
+	raw, err := json.MarshalIndent(payload, "", "  ")
+	if err != nil {
+		return fmt.Errorf("persist: encoding %s: %w", format, err)
+	}
+	out, err := json.MarshalIndent(envelope{Format: format, Version: FormatVersion, Payload: raw}, "", "  ")
+	if err != nil {
+		return fmt.Errorf("persist: %w", err)
+	}
+	if err := os.WriteFile(path, append(out, '\n'), 0o644); err != nil {
+		return fmt.Errorf("persist: %w", err)
+	}
+	return nil
+}
+
+func load(path, format string, payload any) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("persist: %w", err)
+	}
+	var env envelope
+	if err := json.Unmarshal(raw, &env); err != nil {
+		return fmt.Errorf("persist: %s is not a %s file: %w", path, format, err)
+	}
+	if env.Format != format {
+		return fmt.Errorf("persist: %s holds %q, want %q", path, env.Format, format)
+	}
+	if env.Version != FormatVersion {
+		return fmt.Errorf("persist: %s is format version %d, this build reads %d", path, env.Version, FormatVersion)
+	}
+	if err := json.Unmarshal(env.Payload, payload); err != nil {
+		return fmt.Errorf("persist: decoding %s: %w", path, err)
+	}
+	return nil
+}
+
+// SaveTrace writes an application trace.
+func SaveTrace(path string, tr *trace.Trace) error {
+	if tr == nil {
+		return fmt.Errorf("persist: nil trace")
+	}
+	return save(path, formatTrace, tr)
+}
+
+// LoadTrace reads an application trace.
+func LoadTrace(path string) (*trace.Trace, error) {
+	var tr trace.Trace
+	if err := load(path, formatTrace, &tr); err != nil {
+		return nil, err
+	}
+	if len(tr.Blocks) == 0 {
+		return nil, fmt.Errorf("persist: %s holds an empty trace", path)
+	}
+	return &tr, nil
+}
+
+// SaveProbes writes a machine's probe results.
+func SaveProbes(path string, pr *probes.Results) error {
+	if pr == nil {
+		return fmt.Errorf("persist: nil probe results")
+	}
+	return save(path, formatProbes, pr)
+}
+
+// LoadProbes reads a machine's probe results.
+func LoadProbes(path string) (*probes.Results, error) {
+	var pr probes.Results
+	if err := load(path, formatProbes, &pr); err != nil {
+		return nil, err
+	}
+	if pr.Machine == "" {
+		return nil, fmt.Errorf("persist: %s holds unnamed probe results", path)
+	}
+	return &pr, nil
+}

@@ -1,0 +1,157 @@
+package persist
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"hpcmetrics/internal/access"
+	"hpcmetrics/internal/netsim"
+	"hpcmetrics/internal/probes"
+	"hpcmetrics/internal/trace"
+)
+
+func sampleTrace() *trace.Trace {
+	return &trace.Trace{
+		App: "avus", Case: "standard", Procs: 64, BaseSystem: "NAVO_690",
+		Blocks: []trace.BlockTrace{
+			{
+				Name: "flux", Iters: 1e7, FlopsPerIter: 200, MemOpsPerIter: 22,
+				Mix:             access.Mix{Unit: 0.5, Short: 0.2, Random: 0.3},
+				WorkingSetBytes: 64 << 20, ILPLimited: false,
+			},
+			{
+				Name: "ssor", Iters: 5e6, FlopsPerIter: 56, MemOpsPerIter: 14,
+				Mix:             access.Mix{Unit: 0.8, Short: 0.1, Random: 0.1},
+				WorkingSetBytes: 32 << 20, ILPLimited: true,
+			},
+		},
+		Comm: []netsim.Event{
+			{Op: netsim.OpPointToPoint, Bytes: 4096, Count: 1000},
+			{Op: netsim.OpAllReduce, Bytes: 8, Count: 600},
+		},
+	}
+}
+
+func sampleProbes() *probes.Results {
+	return &probes.Results{
+		Machine:           "ARL_Opteron",
+		HPLFlopsPerSec:    4.2e9,
+		StreamBytesPerSec: 2.7e9,
+		GUPSRefsPerSec:    2.8e7,
+		MAPSUnit: probes.Curve{
+			SizesBytes: []int64{8 << 10, 128 << 20},
+			RefsPerSec: []float64{4e9, 3e8},
+		},
+		MAPSRandom: probes.Curve{
+			SizesBytes: []int64{8 << 10, 128 << 20},
+			RefsPerSec: []float64{1e9, 2.8e7},
+		},
+		Net: probes.NetResults{
+			LatencySeconds: 8e-6, BandwidthBytesPerSec: 2.45e8, AllReduce8At64: 7.8e-5,
+		},
+		OverlapFraction: 0.8,
+	}
+}
+
+func TestTraceRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.json")
+	want := sampleTrace()
+	if err := SaveTrace(path, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadTrace(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("round trip mismatch:\ngot  %+v\nwant %+v", got, want)
+	}
+}
+
+func TestProbesRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "probes.json")
+	want := sampleProbes()
+	if err := SaveProbes(path, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadProbes(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("round trip mismatch:\ngot  %+v\nwant %+v", got, want)
+	}
+}
+
+func TestFormatConfusionRejected(t *testing.T) {
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "t.json")
+	if err := SaveTrace(tracePath, sampleTrace()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadProbes(tracePath); err == nil {
+		t.Fatal("probe loader accepted a trace file")
+	} else if !strings.Contains(err.Error(), "hpcmetrics-trace") {
+		t.Fatalf("unhelpful error: %v", err)
+	}
+}
+
+func TestVersionMismatchRejected(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "old.json")
+	data := `{"format":"hpcmetrics-trace","version":999,"payload":{}}`
+	if err := os.WriteFile(path, []byte(data), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadTrace(path); err == nil {
+		t.Fatal("future version accepted")
+	}
+}
+
+func TestCorruptFileRejected(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "junk.json")
+	if err := os.WriteFile(path, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadTrace(path); err == nil {
+		t.Fatal("corrupt file accepted")
+	}
+}
+
+func TestEmptyPayloadRejected(t *testing.T) {
+	dir := t.TempDir()
+	p1 := filepath.Join(dir, "empty-trace.json")
+	if err := os.WriteFile(p1,
+		[]byte(`{"format":"hpcmetrics-trace","version":1,"payload":{}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadTrace(p1); err == nil {
+		t.Fatal("empty trace accepted")
+	}
+	p2 := filepath.Join(dir, "empty-probes.json")
+	if err := os.WriteFile(p2,
+		[]byte(`{"format":"hpcmetrics-probes","version":1,"payload":{}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadProbes(p2); err == nil {
+		t.Fatal("empty probes accepted")
+	}
+}
+
+func TestNilInputsRejected(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "x.json")
+	if err := SaveTrace(path, nil); err == nil {
+		t.Fatal("nil trace accepted")
+	}
+	if err := SaveProbes(path, nil); err == nil {
+		t.Fatal("nil probes accepted")
+	}
+}
+
+func TestMissingFile(t *testing.T) {
+	if _, err := LoadTrace(filepath.Join(t.TempDir(), "nope.json")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

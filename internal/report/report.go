@@ -1,0 +1,347 @@
+// Package report renders study results as the paper's tables and figures:
+// aligned ASCII tables for terminals, CSV for plotting, and series data
+// for the per-application figures. Every table and figure of the paper's
+// evaluation section has a renderer here.
+package report
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"hpcmetrics/internal/apps"
+	"hpcmetrics/internal/metrics"
+	"hpcmetrics/internal/probes"
+	"hpcmetrics/internal/study"
+)
+
+// Table is a generic rendered table.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	rule := make([]string, len(t.Columns))
+	for i := range rule {
+		rule[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(rule)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// CSV renders the table as comma-separated values (cells containing commas
+// or quotes are quoted).
+func (t *Table) CSV() string {
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			if strings.ContainsAny(cell, ",\"\n") {
+				cell = "\"" + strings.ReplaceAll(cell, "\"", "\"\"") + "\""
+			}
+			b.WriteString(cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// Table4 renders the paper's Table 4: average absolute error and standard
+// deviation per metric.
+func Table4(res *study.Results) *Table {
+	t := &Table{
+		Title:   "Table 4. Error assessment: metric results vs application run time",
+		Columns: []string{"# & Type", "Metric", "AvgAbsErr(%)", "StdDev(%)"},
+	}
+	for _, m := range metrics.All() {
+		s := res.MetricSummary(m.ID)
+		t.Rows = append(t.Rows, []string{
+			m.Label(), m.Name,
+			fmt.Sprintf("%.0f", s.MeanAbs), fmt.Sprintf("%.0f", s.StdAbs),
+		})
+	}
+	return t
+}
+
+// Table5 renders the paper's Table 5: per-system average absolute error
+// for each metric, with the overall row.
+func Table5(res *study.Results) *Table {
+	t := &Table{
+		Title:   "Table 5. System-specific average absolute percent error",
+		Columns: []string{"System", "1", "2", "3", "4", "5", "6", "7", "8", "9"},
+	}
+	for _, name := range res.TargetNames {
+		row := []string{name}
+		for id := 1; id <= 9; id++ {
+			row = append(row, fmt.Sprintf("%.0f", res.SystemSummary(name, id).MeanAbs))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	overall := []string{"OVERALL"}
+	for id := 1; id <= 9; id++ {
+		overall = append(overall, fmt.Sprintf("%.0f", res.MetricSummary(id).MeanAbs))
+	}
+	t.Rows = append(t.Rows, overall)
+	return t
+}
+
+// FigureSeries is the data behind one of the paper's bar figures: for each
+// CPU count of one application, the mean absolute error of each metric.
+type FigureSeries struct {
+	AppID  string
+	Procs  []int
+	Errors [][]float64 // [cpuIndex][metricIndex 0..8]
+}
+
+// Figure returns the per-application error assessment (paper Figures 3-7).
+func Figure(res *study.Results, appID string) (*FigureSeries, error) {
+	cells := res.AppCells(appID)
+	if len(cells) == 0 {
+		return nil, fmt.Errorf("report: no cells for app %q", appID)
+	}
+	fs := &FigureSeries{AppID: appID}
+	for _, key := range cells {
+		fs.Procs = append(fs.Procs, key.Procs)
+		var row []float64
+		for id := 1; id <= 9; id++ {
+			row = append(row, res.CellSummary(key, id).MeanAbs)
+		}
+		fs.Errors = append(fs.Errors, row)
+	}
+	return fs, nil
+}
+
+// FigureNumber returns the paper's figure number for an application's
+// error assessment (Figures 3-7 in registry order), or 0 if unknown.
+func FigureNumber(appID string) int {
+	for i, tc := range apps.Registry() {
+		if tc.ID() == appID {
+			return 3 + i
+		}
+	}
+	return 0
+}
+
+// Table renders the figure series as a table (the figures are bar charts
+// of exactly these numbers).
+func (fs *FigureSeries) Table() *Table {
+	title := fmt.Sprintf("Error assessment for %s", fs.AppID)
+	if n := FigureNumber(fs.AppID); n > 0 {
+		title = fmt.Sprintf("Figure %d. Graphical error assessment for %s", n, fs.AppID)
+	}
+	t := &Table{
+		Title:   title,
+		Columns: []string{"CPUs", "1-S", "2-S", "3-S", "4-P", "5-P", "6-P", "7-P", "8-P", "9-P"},
+	}
+	for i, procs := range fs.Procs {
+		row := []string{fmt.Sprintf("%d", procs)}
+		for _, e := range fs.Errors[i] {
+			row = append(row, fmt.Sprintf("%.0f", e))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}
+
+// ObservedTable renders one application's observed times-to-solution — the
+// analogs of the paper's Appendix tables 6-10. Missing cells (jobs larger
+// than the machine) render as "--", like the paper's blanks.
+func ObservedTable(res *study.Results, appID string) (*Table, error) {
+	cells := res.AppCells(appID)
+	if len(cells) == 0 {
+		return nil, fmt.Errorf("report: no cells for app %q", appID)
+	}
+	cols := []string{"Machine"}
+	for _, key := range cells {
+		cols = append(cols, fmt.Sprintf("%d-CPUs", key.Procs))
+	}
+	t := &Table{
+		Title:   fmt.Sprintf("%s observed times-to-solution (s)", appID),
+		Columns: cols,
+	}
+	for _, name := range res.TargetNames {
+		row := []string{name}
+		for _, key := range cells {
+			if v, ok := res.Observed[key][name]; ok {
+				row = append(row, fmt.Sprintf("%.0f", v))
+			} else {
+				row = append(row, "--")
+			}
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+// MAPSCurveTable renders unit-stride MAPS bandwidth versus working-set
+// size for a set of systems — the data behind the paper's Figure 1.
+func MAPSCurveTable(results []*probes.Results) *Table {
+	t := &Table{
+		Title:   "Figure 1. Unit-stride memory bandwidth (GB/s) vs working-set size",
+		Columns: []string{"Size"},
+	}
+	for _, pr := range results {
+		t.Columns = append(t.Columns, pr.Machine)
+	}
+	if len(results) == 0 {
+		return t
+	}
+	for i, size := range results[0].MAPSUnit.SizesBytes {
+		row := []string{formatSize(size)}
+		for _, pr := range results {
+			row = append(row, fmt.Sprintf("%.2f", pr.MAPSUnit.RefsPerSec[i]*8/1e9))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}
+
+// ProbeTable summarizes the probe suite across machines.
+func ProbeTable(res *study.Results) *Table {
+	t := &Table{
+		Title: "Synthetic probe results",
+		Columns: []string{
+			"Machine", "HPL(GF/s)", "STREAM(GB/s)", "GUPS(Mref/s)",
+			"NetLat(us)", "NetBW(MB/s)", "AllReduce64(us)",
+		},
+	}
+	names := append([]string{res.BaseName}, res.TargetNames...)
+	for _, name := range names {
+		pr := res.Probes[name]
+		t.Rows = append(t.Rows, []string{
+			name,
+			fmt.Sprintf("%.2f", pr.HPLFlopsPerSec/1e9),
+			fmt.Sprintf("%.2f", pr.StreamBytesPerSec/1e9),
+			fmt.Sprintf("%.1f", pr.GUPSRefsPerSec/1e6),
+			fmt.Sprintf("%.1f", pr.Net.LatencySeconds*1e6),
+			fmt.Sprintf("%.0f", pr.Net.BandwidthBytesPerSec/1e6),
+			fmt.Sprintf("%.1f", pr.Net.AllReduce8At64*1e6),
+		})
+	}
+	return t
+}
+
+// BalancedTable renders the balanced-rating side experiment.
+func BalancedTable(res *study.Results) *Table {
+	t := &Table{
+		Title:   "Balanced rating (HPL / STREAM / all_reduce)",
+		Columns: []string{"Weighting", "HPL", "STREAM", "all_reduce", "AvgAbsErr(%)", "StdDev(%)"},
+	}
+	b := res.Balanced
+	t.Rows = append(t.Rows, []string{
+		"fixed",
+		fmt.Sprintf("%.0f%%", b.FixedWeights[0]*100),
+		fmt.Sprintf("%.0f%%", b.FixedWeights[1]*100),
+		fmt.Sprintf("%.0f%%", b.FixedWeights[2]*100),
+		fmt.Sprintf("%.0f", b.FixedSummary.MeanAbs),
+		fmt.Sprintf("%.0f", b.FixedSummary.StdAbs),
+	})
+	t.Rows = append(t.Rows, []string{
+		"optimized",
+		fmt.Sprintf("%.0f%%", b.OptWeights[0]*100),
+		fmt.Sprintf("%.0f%%", b.OptWeights[1]*100),
+		fmt.Sprintf("%.0f%%", b.OptWeights[2]*100),
+		fmt.Sprintf("%.0f", b.OptSummary.MeanAbs),
+		fmt.Sprintf("%.0f", b.OptSummary.StdAbs),
+	})
+	return t
+}
+
+// Ranking returns system names ordered best-first by mean observed time
+// ratio to the base across all cells where the system was observed — the
+// "application ranking" the paper's introduction motivates.
+func Ranking(res *study.Results) []string {
+	type score struct {
+		name string
+		mean float64
+	}
+	var scores []score
+	for _, name := range res.TargetNames {
+		var sum float64
+		var n int
+		for _, key := range res.Cells {
+			if v, ok := res.Observed[key][name]; ok {
+				sum += v / res.BaseTimes[key]
+				n++
+			}
+		}
+		if n > 0 {
+			scores = append(scores, score{name, sum / float64(n)})
+		}
+	}
+	sort.Slice(scores, func(i, j int) bool { return scores[i].mean < scores[j].mean })
+	out := make([]string, len(scores))
+	for i, s := range scores {
+		out[i] = s.name
+	}
+	return out
+}
+
+func formatSize(b int64) string {
+	switch {
+	case b >= 1<<20:
+		return fmt.Sprintf("%dMB", b>>20)
+	case b >= 1<<10:
+		return fmt.Sprintf("%dKB", b>>10)
+	default:
+		return fmt.Sprintf("%dB", b)
+	}
+}
+
+// CorrelationTable renders prediction-vs-observed correlation per metric —
+// the "correlation of each estimator to true performance" the paper's
+// introduction promises to determine.
+func CorrelationTable(res *study.Results) (*Table, error) {
+	t := &Table{
+		Title:   "Correlation of each metric's predictions with true performance",
+		Columns: []string{"# & Type", "Metric", "Pearson r", "Spearman rho"},
+	}
+	for _, m := range metrics.All() {
+		c, err := res.MetricCorrelation(m.ID)
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, []string{
+			m.Label(), m.Name,
+			fmt.Sprintf("%.3f", c.Pearson), fmt.Sprintf("%.3f", c.Spearman),
+		})
+	}
+	return t, nil
+}

@@ -1,0 +1,249 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"hpcmetrics/internal/probes"
+	"hpcmetrics/internal/study"
+)
+
+// fixture builds a miniature study result by hand: two target systems, one
+// application at two CPU counts, two metrics' worth of predictions.
+func fixture() *study.Results {
+	k32 := study.Key{App: "avus", Case: "standard", Procs: 32}
+	k64 := study.Key{App: "avus", Case: "standard", Procs: 64}
+	mkProbes := func(name string, hpl float64) *probes.Results {
+		return &probes.Results{
+			Machine:           name,
+			HPLFlopsPerSec:    hpl,
+			StreamBytesPerSec: 1e9,
+			GUPSRefsPerSec:    1e7,
+			MAPSUnit: probes.Curve{
+				SizesBytes: []int64{8 << 10, 64 << 20},
+				RefsPerSec: []float64{4e8, 1e8},
+			},
+			Net: probes.NetResults{LatencySeconds: 1e-5, BandwidthBytesPerSec: 3e8, AllReduce8At64: 1e-4},
+		}
+	}
+	res := &study.Results{
+		BaseName:    "BASE",
+		TargetNames: []string{"SYS_A", "SYS_B"},
+		Cells:       []study.Key{k32, k64},
+		Probes: map[string]*probes.Results{
+			"BASE":  mkProbes("BASE", 2e9),
+			"SYS_A": mkProbes("SYS_A", 4e9),
+			"SYS_B": mkProbes("SYS_B", 1e9),
+		},
+		Observed: map[study.Key]map[string]float64{
+			k32: {"SYS_A": 500, "SYS_B": 2100},
+			k64: {"SYS_A": 260}, // SYS_B missing at 64 CPUs
+		},
+		BaseTimes: map[study.Key]float64{k32: 1000, k64: 520},
+	}
+	for metricID := 1; metricID <= 9; metricID++ {
+		for _, k := range res.Cells {
+			for name, actual := range res.Observed[k] {
+				pred := actual * (1 + 0.1*float64(metricID%3))
+				res.Predictions = append(res.Predictions, study.Prediction{
+					MetricID: metricID, Key: k, Machine: name,
+					Predicted: pred, Actual: actual,
+					SignedErr: (pred - actual) / actual * 100,
+				})
+			}
+		}
+	}
+	return res
+}
+
+func TestTableString(t *testing.T) {
+	tab := &Table{
+		Title:   "demo",
+		Columns: []string{"a", "b"},
+		Rows:    [][]string{{"1", "22"}, {"333", "4"}},
+	}
+	s := tab.String()
+	if !strings.Contains(s, "demo") || !strings.Contains(s, "333") {
+		t.Fatalf("render missing content:\n%s", s)
+	}
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if len(lines) != 4 { // title, header, rule, 2 rows -> 5? title+header+rule+2
+		if len(lines) != 5 {
+			t.Fatalf("unexpected line count %d:\n%s", len(lines), s)
+		}
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tab := &Table{
+		Columns: []string{"x", "y"},
+		Rows:    [][]string{{"a,b", `quote"d`}},
+	}
+	csv := tab.CSV()
+	if !strings.Contains(csv, `"a,b"`) {
+		t.Errorf("comma cell not quoted: %q", csv)
+	}
+	if !strings.Contains(csv, `"quote""d"`) {
+		t.Errorf("quote cell not escaped: %q", csv)
+	}
+	if !strings.HasPrefix(csv, "x,y\n") {
+		t.Errorf("header missing: %q", csv)
+	}
+}
+
+func TestTable4(t *testing.T) {
+	tab := Table4(fixture())
+	if len(tab.Rows) != 9 {
+		t.Fatalf("Table 4 has %d rows, want 9", len(tab.Rows))
+	}
+	if tab.Rows[0][0] != "1-S" || tab.Rows[8][0] != "9-P" {
+		t.Fatalf("row labels wrong: %v ... %v", tab.Rows[0], tab.Rows[8])
+	}
+	// metric 3 (id%3==0) has zero error in the fixture.
+	if tab.Rows[2][2] != "0" {
+		t.Errorf("metric 3 mean = %s, want 0", tab.Rows[2][2])
+	}
+}
+
+func TestTable5(t *testing.T) {
+	tab := Table5(fixture())
+	if len(tab.Rows) != 3 { // two systems + OVERALL
+		t.Fatalf("Table 5 has %d rows", len(tab.Rows))
+	}
+	if tab.Rows[2][0] != "OVERALL" {
+		t.Fatalf("last row %v", tab.Rows[2])
+	}
+}
+
+func TestFigure(t *testing.T) {
+	fs, err := Figure(fixture(), "avus-standard")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fs.Procs) != 2 || fs.Procs[0] != 32 || fs.Procs[1] != 64 {
+		t.Fatalf("procs %v", fs.Procs)
+	}
+	if len(fs.Errors[0]) != 9 {
+		t.Fatalf("metric columns %d", len(fs.Errors[0]))
+	}
+	tab := fs.Table()
+	if len(tab.Rows) != 2 {
+		t.Fatalf("figure table rows %d", len(tab.Rows))
+	}
+	if _, err := Figure(fixture(), "nonesuch"); err == nil {
+		t.Fatal("unknown app accepted")
+	}
+}
+
+func TestFigureNumber(t *testing.T) {
+	if got := FigureNumber("avus-standard"); got != 3 {
+		t.Errorf("avus-standard figure %d, want 3", got)
+	}
+	if got := FigureNumber("rfcth-standard"); got != 7 {
+		t.Errorf("rfcth figure %d, want 7", got)
+	}
+	if got := FigureNumber("nope"); got != 0 {
+		t.Errorf("unknown figure %d", got)
+	}
+}
+
+func TestObservedTableShowsMissingCells(t *testing.T) {
+	tab, err := ObservedTable(fixture(), "avus-standard")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// SYS_B row must contain "--" for the missing 64-CPU cell.
+	var sysB []string
+	for _, row := range tab.Rows {
+		if row[0] == "SYS_B" {
+			sysB = row
+		}
+	}
+	if sysB == nil {
+		t.Fatal("SYS_B row missing")
+	}
+	if sysB[2] != "--" {
+		t.Fatalf("missing cell rendered as %q, want --", sysB[2])
+	}
+	if sysB[1] != "2100" {
+		t.Fatalf("observed cell %q", sysB[1])
+	}
+	if _, err := ObservedTable(fixture(), "zzz"); err == nil {
+		t.Fatal("unknown app accepted")
+	}
+}
+
+func TestMAPSCurveTable(t *testing.T) {
+	res := fixture()
+	tab := MAPSCurveTable([]*probes.Results{res.Probes["SYS_A"], res.Probes["SYS_B"]})
+	if len(tab.Columns) != 3 {
+		t.Fatalf("columns %v", tab.Columns)
+	}
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows %d, want one per sweep size", len(tab.Rows))
+	}
+	if tab.Rows[0][0] != "8KB" || tab.Rows[1][0] != "64MB" {
+		t.Fatalf("size labels %v / %v", tab.Rows[0][0], tab.Rows[1][0])
+	}
+	empty := MAPSCurveTable(nil)
+	if len(empty.Rows) != 0 {
+		t.Fatal("empty input produced rows")
+	}
+}
+
+func TestProbeTable(t *testing.T) {
+	tab := ProbeTable(fixture())
+	if len(tab.Rows) != 3 { // base + two targets
+		t.Fatalf("probe rows %d", len(tab.Rows))
+	}
+	if tab.Rows[0][0] != "BASE" {
+		t.Fatalf("first row %v", tab.Rows[0])
+	}
+}
+
+func TestBalancedTable(t *testing.T) {
+	res := fixture()
+	res.Balanced.FixedWeights = [3]float64{1.0 / 3, 1.0 / 3, 1.0 / 3}
+	res.Balanced.OptWeights = [3]float64{0.05, 0.5, 0.45}
+	tab := BalancedTable(res)
+	if len(tab.Rows) != 2 {
+		t.Fatalf("balanced rows %d", len(tab.Rows))
+	}
+	if tab.Rows[1][1] != "5%" || tab.Rows[1][2] != "50%" {
+		t.Fatalf("optimized weights row %v", tab.Rows[1])
+	}
+}
+
+func TestRanking(t *testing.T) {
+	got := Ranking(fixture())
+	// SYS_A is ~2x faster than base, SYS_B ~2x slower.
+	if len(got) != 2 || got[0] != "SYS_A" || got[1] != "SYS_B" {
+		t.Fatalf("ranking %v", got)
+	}
+}
+
+func TestFormatSize(t *testing.T) {
+	cases := map[int64]string{512: "512B", 8 << 10: "8KB", 2 << 20: "2MB"}
+	for in, want := range cases {
+		if got := formatSize(in); got != want {
+			t.Errorf("formatSize(%d) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestCorrelationTable(t *testing.T) {
+	tab, err := CorrelationTable(fixture())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 9 {
+		t.Fatalf("correlation rows %d", len(tab.Rows))
+	}
+	// The fixture's predictions are exact multiples of the actuals, so
+	// every metric correlates perfectly.
+	for _, row := range tab.Rows {
+		if row[2] != "1.000" || row[3] != "1.000" {
+			t.Fatalf("fixture correlation row %v, want perfect", row)
+		}
+	}
+}

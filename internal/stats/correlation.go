@@ -1,0 +1,69 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// Pearson returns the Pearson product-moment correlation coefficient of
+// two equal-length samples. It errors on mismatched lengths, fewer than
+// two points, or zero variance in either sample.
+func Pearson(x, y []float64) (float64, error) {
+	if len(x) != len(y) {
+		return 0, errors.New("stats: correlation length mismatch")
+	}
+	n := len(x)
+	if n < 2 {
+		return 0, errors.New("stats: correlation needs at least two points")
+	}
+	mx, my := Mean(x), Mean(y)
+	var sxy, sxx, syy float64
+	for i := 0; i < n; i++ {
+		dx, dy := x[i]-mx, y[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0, errors.New("stats: zero variance")
+	}
+	return sxy / math.Sqrt(sxx*syy), nil
+}
+
+// ranks assigns average ranks (1-based), resolving ties by midrank.
+func ranks(xs []float64) []float64 {
+	n := len(xs)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return xs[idx[a]] < xs[idx[b]] })
+	out := make([]float64, n)
+	for i := 0; i < n; {
+		j := i
+		for j+1 < n && xs[idx[j+1]] == xs[idx[i]] {
+			j++
+		}
+		avg := float64(i+j)/2 + 1
+		for k := i; k <= j; k++ {
+			out[idx[k]] = avg
+		}
+		i = j + 1
+	}
+	return out
+}
+
+// Spearman returns the Spearman rank correlation coefficient — the
+// Pearson correlation of the two samples' ranks, robust to monotone
+// nonlinearity. The paper's ranking question ("system X is 50% faster
+// than Y for application Z") is exactly a rank question.
+func Spearman(x, y []float64) (float64, error) {
+	if len(x) != len(y) {
+		return 0, errors.New("stats: correlation length mismatch")
+	}
+	if len(x) < 2 {
+		return 0, errors.New("stats: correlation needs at least two points")
+	}
+	return Pearson(ranks(x), ranks(y))
+}

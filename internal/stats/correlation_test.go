@@ -1,0 +1,137 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPearsonPerfect(t *testing.T) {
+	x := []float64{1, 2, 3, 4, 5}
+	y := []float64{2, 4, 6, 8, 10}
+	r, err := Pearson(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r-1) > 1e-12 {
+		t.Fatalf("r = %g, want 1", r)
+	}
+	neg := []float64{10, 8, 6, 4, 2}
+	r, err = Pearson(x, neg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r+1) > 1e-12 {
+		t.Fatalf("r = %g, want -1", r)
+	}
+}
+
+func TestPearsonKnownValue(t *testing.T) {
+	// Hand-computed: x={1,2,3}, y={1,3,2} -> r = 0.5.
+	r, err := Pearson([]float64{1, 2, 3}, []float64{1, 3, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r-0.5) > 1e-12 {
+		t.Fatalf("r = %g, want 0.5", r)
+	}
+}
+
+func TestPearsonErrors(t *testing.T) {
+	if _, err := Pearson([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := Pearson([]float64{1}, []float64{1}); err == nil {
+		t.Error("single point accepted")
+	}
+	if _, err := Pearson([]float64{1, 1}, []float64{1, 2}); err == nil {
+		t.Error("zero variance accepted")
+	}
+}
+
+func TestSpearmanMonotone(t *testing.T) {
+	// Any strictly monotone transform has rank correlation exactly 1.
+	x := []float64{1, 2, 3, 4, 5}
+	y := []float64{1, 8, 27, 1000, 100000} // nonlinear but monotone
+	r, err := Spearman(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r-1) > 1e-12 {
+		t.Fatalf("rho = %g, want 1", r)
+	}
+}
+
+func TestSpearmanTies(t *testing.T) {
+	// Ties get midranks; this known case has rho ~0.866.
+	x := []float64{1, 2, 2, 4}
+	y := []float64{10, 20, 30, 40}
+	r, err := Spearman(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r <= 0.8 || r > 1 {
+		t.Fatalf("rho = %g, want ~0.87", r)
+	}
+}
+
+func TestRanks(t *testing.T) {
+	got := ranks([]float64{30, 10, 20})
+	want := []float64{3, 1, 2}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ranks = %v, want %v", got, want)
+		}
+	}
+	tied := ranks([]float64{5, 5, 1})
+	if tied[0] != 2.5 || tied[1] != 2.5 || tied[2] != 1 {
+		t.Fatalf("tied ranks = %v", tied)
+	}
+}
+
+// Property: correlation is symmetric and within [-1, 1].
+func TestQuickPearsonBoundsAndSymmetry(t *testing.T) {
+	f := func(raw [8]int8) bool {
+		x := make([]float64, 4)
+		y := make([]float64, 4)
+		for i := 0; i < 4; i++ {
+			x[i], y[i] = float64(raw[i]), float64(raw[4+i])
+		}
+		rxy, err1 := Pearson(x, y)
+		ryx, err2 := Pearson(y, x)
+		if err1 != nil || err2 != nil {
+			return true // degenerate inputs are allowed to error
+		}
+		return math.Abs(rxy-ryx) < 1e-12 && rxy >= -1-1e-12 && rxy <= 1+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Spearman is invariant under strictly increasing transforms.
+func TestQuickSpearmanTransformInvariance(t *testing.T) {
+	f := func(raw [5]int8) bool {
+		x := make([]float64, 5)
+		seen := map[float64]bool{}
+		for i := range x {
+			x[i] = float64(raw[i])
+			seen[x[i]] = true
+		}
+		if len(seen) < 2 {
+			return true
+		}
+		y := make([]float64, 5)
+		for i := range y {
+			y[i] = math.Exp(x[i] / 32)
+		}
+		r, err := Spearman(x, y)
+		if err != nil {
+			return true
+		}
+		return math.Abs(r-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,45 @@
+package stats_test
+
+import (
+	"fmt"
+
+	"hpcmetrics/internal/stats"
+)
+
+// ExampleSummarize shows the paper's error aggregation: signed Equation 2
+// errors in, mean and standard deviation of |error| out.
+func ExampleSummarize() {
+	signed := []float64{-20, 30, -10, 40}
+	s := stats.Summarize(signed)
+	fmt.Printf("n=%d mean=%.0f%%\n", s.N, s.MeanAbs)
+	// Output:
+	// n=4 mean=25%
+}
+
+// ExampleOptimizeSimplex3 shows the balanced-rating weight search.
+func ExampleOptimizeSimplex3() {
+	// Pretend the best achievable weighting is all-memory.
+	objective := func(w stats.Weights3) float64 {
+		return (w[0])*(w[0]) + (1-w[1])*(1-w[1]) + w[2]*w[2]
+	}
+	w, _, err := stats.OptimizeSimplex3(0.25, objective)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("weights: %.2f %.2f %.2f\n", w[0], w[1], w[2])
+	// Output:
+	// weights: 0.00 1.00 0.00
+}
+
+// ExampleSpearman shows rank correlation for the system-ranking question.
+func ExampleSpearman() {
+	hplScores := []float64{1.2, 4.4, 2.0, 6.8}
+	appTimes := []float64{9000, 2000, 7000, 1500} // faster machine, lower time
+	rho, err := stats.Spearman(hplScores, appTimes)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("rho = %.0f\n", rho)
+	// Output:
+	// rho = -1
+}

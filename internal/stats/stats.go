@@ -1,0 +1,174 @@
+// Package stats provides the small numerical toolkit the study needs:
+// summary statistics over error samples, dense least squares (for the
+// regression-optimized balanced rating), and a simplex grid search for
+// weight optimization under a sum-to-one constraint.
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Mean returns the arithmetic mean; zero for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// StdDev returns the sample standard deviation (n-1 denominator); zero for
+// fewer than two samples.
+func StdDev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var ss float64
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(xs)-1))
+}
+
+// MeanAbs returns the mean of absolute values.
+func MeanAbs(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += math.Abs(x)
+	}
+	return sum / float64(len(xs))
+}
+
+// AbsSlice returns |x| element-wise.
+func AbsSlice(xs []float64) []float64 {
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		out[i] = math.Abs(x)
+	}
+	return out
+}
+
+// Summary is the (mean |error|, standard deviation of |error|) pair the
+// paper reports per metric.
+type Summary struct {
+	N       int
+	MeanAbs float64
+	StdAbs  float64
+}
+
+// Summarize computes the paper's error aggregation over signed errors.
+func Summarize(signedErrors []float64) Summary {
+	abs := AbsSlice(signedErrors)
+	return Summary{N: len(abs), MeanAbs: Mean(abs), StdAbs: StdDev(abs)}
+}
+
+// Solve solves the square system a·x = b by Gaussian elimination with
+// partial pivoting. It mutates copies, not the inputs.
+func Solve(a [][]float64, b []float64) ([]float64, error) {
+	n := len(a)
+	if n == 0 || len(b) != n {
+		return nil, errors.New("stats: dimension mismatch")
+	}
+	// Copy into an augmented matrix.
+	m := make([][]float64, n)
+	for i := range m {
+		if len(a[i]) != n {
+			return nil, fmt.Errorf("stats: row %d has %d columns, want %d", i, len(a[i]), n)
+		}
+		m[i] = append(append(make([]float64, 0, n+1), a[i]...), b[i])
+	}
+	for col := 0; col < n; col++ {
+		// Partial pivot.
+		pivot := col
+		for r := col + 1; r < n; r++ {
+			if math.Abs(m[r][col]) > math.Abs(m[pivot][col]) {
+				pivot = r
+			}
+		}
+		if math.Abs(m[pivot][col]) < 1e-14 {
+			return nil, errors.New("stats: singular system")
+		}
+		m[col], m[pivot] = m[pivot], m[col]
+		for r := col + 1; r < n; r++ {
+			f := m[r][col] / m[col][col]
+			for c := col; c <= n; c++ {
+				m[r][c] -= f * m[col][c]
+			}
+		}
+	}
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		sum := m[i][n]
+		for j := i + 1; j < n; j++ {
+			sum -= m[i][j] * x[j]
+		}
+		x[i] = sum / m[i][i]
+	}
+	return x, nil
+}
+
+// LeastSquares fits y ≈ X·beta by the normal equations. X is row-major
+// (one row per observation).
+func LeastSquares(x [][]float64, y []float64) ([]float64, error) {
+	n := len(x)
+	if n == 0 || len(y) != n {
+		return nil, errors.New("stats: dimension mismatch")
+	}
+	p := len(x[0])
+	if p == 0 || n < p {
+		return nil, fmt.Errorf("stats: %d observations cannot fit %d parameters", n, p)
+	}
+	xtx := make([][]float64, p)
+	xty := make([]float64, p)
+	for i := range xtx {
+		xtx[i] = make([]float64, p)
+	}
+	for r := 0; r < n; r++ {
+		if len(x[r]) != p {
+			return nil, fmt.Errorf("stats: row %d has %d columns, want %d", r, len(x[r]), p)
+		}
+		for i := 0; i < p; i++ {
+			xty[i] += x[r][i] * y[r]
+			for j := 0; j < p; j++ {
+				xtx[i][j] += x[r][i] * x[r][j]
+			}
+		}
+	}
+	return Solve(xtx, xty)
+}
+
+// Weights3 is a point on the 3-simplex (non-negative, sums to one).
+type Weights3 [3]float64
+
+// OptimizeSimplex3 minimizes the objective over the 3-simplex with a grid
+// of the given step (e.g. 0.05), returning the best weights and objective
+// value. This is how the study finds the error-minimizing balanced-rating
+// weights (the paper reports 5%/50%/45%).
+func OptimizeSimplex3(step float64, objective func(Weights3) float64) (Weights3, float64, error) {
+	if step <= 0 || step > 1 {
+		return Weights3{}, 0, fmt.Errorf("stats: bad step %g", step)
+	}
+	steps := int(math.Round(1 / step))
+	best := Weights3{1, 0, 0}
+	bestVal := math.Inf(1)
+	for i := 0; i <= steps; i++ {
+		for j := 0; j <= steps-i; j++ {
+			k := steps - i - j
+			w := Weights3{float64(i) / float64(steps), float64(j) / float64(steps), float64(k) / float64(steps)}
+			if v := objective(w); v < bestVal {
+				best, bestVal = w, v
+			}
+		}
+	}
+	return best, bestVal, nil
+}

@@ -1,0 +1,246 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestMean(t *testing.T) {
+	cases := []struct {
+		xs   []float64
+		want float64
+	}{
+		{nil, 0},
+		{[]float64{5}, 5},
+		{[]float64{1, 2, 3, 4}, 2.5},
+		{[]float64{-1, 1}, 0},
+	}
+	for _, c := range cases {
+		if got := Mean(c.xs); !almostEqual(got, c.want, 1e-12) {
+			t.Errorf("Mean(%v) = %g, want %g", c.xs, got, c.want)
+		}
+	}
+}
+
+func TestStdDev(t *testing.T) {
+	if got := StdDev(nil); got != 0 {
+		t.Errorf("StdDev(nil) = %g", got)
+	}
+	if got := StdDev([]float64{7}); got != 0 {
+		t.Errorf("StdDev(single) = %g", got)
+	}
+	// Known value: sample stddev of {2,4,4,4,5,5,7,9} is ~2.138.
+	got := StdDev([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if !almostEqual(got, 2.13809, 1e-4) {
+		t.Errorf("StdDev = %g, want ~2.138", got)
+	}
+}
+
+func TestMeanAbs(t *testing.T) {
+	if got := MeanAbs([]float64{-3, 3, -6, 6}); !almostEqual(got, 4.5, 1e-12) {
+		t.Errorf("MeanAbs = %g, want 4.5", got)
+	}
+	if got := MeanAbs(nil); got != 0 {
+		t.Errorf("MeanAbs(nil) = %g", got)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{-10, 10, -20, 20})
+	if s.N != 4 {
+		t.Errorf("N = %d", s.N)
+	}
+	if !almostEqual(s.MeanAbs, 15, 1e-12) {
+		t.Errorf("MeanAbs = %g, want 15", s.MeanAbs)
+	}
+	// abs errors are {10,10,20,20}: sample stddev = 5.7735.
+	if !almostEqual(s.StdAbs, 5.7735, 1e-3) {
+		t.Errorf("StdAbs = %g, want ~5.77", s.StdAbs)
+	}
+}
+
+func TestSolveKnownSystem(t *testing.T) {
+	// 2x + y = 5; x - y = 1  ->  x = 2, y = 1.
+	x, err := Solve([][]float64{{2, 1}, {1, -1}}, []float64{5, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(x[0], 2, 1e-12) || !almostEqual(x[1], 1, 1e-12) {
+		t.Fatalf("solution = %v, want [2 1]", x)
+	}
+}
+
+func TestSolveNeedsPivoting(t *testing.T) {
+	// Leading zero forces a row swap.
+	x, err := Solve([][]float64{{0, 1}, {1, 0}}, []float64{3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(x[0], 4, 1e-12) || !almostEqual(x[1], 3, 1e-12) {
+		t.Fatalf("solution = %v, want [4 3]", x)
+	}
+}
+
+func TestSolveErrors(t *testing.T) {
+	if _, err := Solve(nil, nil); err == nil {
+		t.Error("empty system accepted")
+	}
+	if _, err := Solve([][]float64{{1, 1}, {1, 1}}, []float64{1, 2}); err == nil {
+		t.Error("singular system accepted")
+	}
+	if _, err := Solve([][]float64{{1, 2}}, []float64{1, 2}); err == nil {
+		t.Error("dimension mismatch accepted")
+	}
+	if _, err := Solve([][]float64{{1}, {1, 2}}, []float64{1, 2}); err == nil {
+		t.Error("ragged matrix accepted")
+	}
+}
+
+func TestLeastSquaresExactFit(t *testing.T) {
+	// y = 3a + 2b with no noise must be recovered exactly.
+	x := [][]float64{{1, 0}, {0, 1}, {1, 1}, {2, 1}}
+	y := []float64{3, 2, 5, 8}
+	beta, err := LeastSquares(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(beta[0], 3, 1e-9) || !almostEqual(beta[1], 2, 1e-9) {
+		t.Fatalf("beta = %v, want [3 2]", beta)
+	}
+}
+
+func TestLeastSquaresErrors(t *testing.T) {
+	if _, err := LeastSquares(nil, nil); err == nil {
+		t.Error("empty fit accepted")
+	}
+	if _, err := LeastSquares([][]float64{{1, 2}}, []float64{1}); err == nil {
+		t.Error("underdetermined fit accepted")
+	}
+	if _, err := LeastSquares([][]float64{{1, 2}, {3}}, []float64{1, 2}); err == nil {
+		t.Error("ragged rows accepted")
+	}
+}
+
+// Property: least-squares residuals are orthogonal to every column of X.
+func TestQuickLeastSquaresResidualOrthogonality(t *testing.T) {
+	f := func(raw [12]int8, noise [6]int8) bool {
+		x := make([][]float64, 6)
+		y := make([]float64, 6)
+		for i := 0; i < 6; i++ {
+			x[i] = []float64{float64(raw[2*i]), float64(raw[2*i+1])}
+			y[i] = 2*x[i][0] - x[i][1] + float64(noise[i])/10
+		}
+		beta, err := LeastSquares(x, y)
+		if err != nil {
+			return true // singular design matrices are fine to reject
+		}
+		for col := 0; col < 2; col++ {
+			var dot float64
+			for i := range x {
+				resid := y[i] - beta[0]*x[i][0] - beta[1]*x[i][1]
+				dot += resid * x[i][col]
+			}
+			if math.Abs(dot) > 1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Solve returns x with a·x = b.
+func TestQuickSolveSatisfiesSystem(t *testing.T) {
+	f := func(raw [9]int8, braw [3]int8) bool {
+		a := make([][]float64, 3)
+		b := make([]float64, 3)
+		for i := 0; i < 3; i++ {
+			a[i] = []float64{float64(raw[3*i]), float64(raw[3*i+1]), float64(raw[3*i+2])}
+			b[i] = float64(braw[i])
+		}
+		x, err := Solve(a, b)
+		if err != nil {
+			return true // singular: acceptable
+		}
+		for i := 0; i < 3; i++ {
+			var sum float64
+			for j := 0; j < 3; j++ {
+				sum += a[i][j] * x[j]
+			}
+			if math.Abs(sum-b[i]) > 1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOptimizeSimplex3(t *testing.T) {
+	// Objective minimized at w = (0, 0.5, 0.5).
+	target := Weights3{0, 0.5, 0.5}
+	obj := func(w Weights3) float64 {
+		var d float64
+		for i := range w {
+			d += (w[i] - target[i]) * (w[i] - target[i])
+		}
+		return d
+	}
+	w, v, err := OptimizeSimplex3(0.05, obj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v > 1e-9 {
+		t.Fatalf("optimum value %g at %v, want 0 at %v", v, w, target)
+	}
+	for i := range w {
+		if !almostEqual(w[i], target[i], 1e-9) {
+			t.Fatalf("weights %v, want %v", w, target)
+		}
+	}
+}
+
+func TestOptimizeSimplex3StaysOnSimplex(t *testing.T) {
+	count := 0
+	_, _, err := OptimizeSimplex3(0.1, func(w Weights3) float64 {
+		count++
+		sum := w[0] + w[1] + w[2]
+		if !almostEqual(sum, 1, 1e-9) || w[0] < 0 || w[1] < 0 || w[2] < 0 {
+			t.Fatalf("off-simplex point %v", w)
+		}
+		return 1
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Grid with step 0.1: C(12,2) = 66 points.
+	if count != 66 {
+		t.Fatalf("visited %d grid points, want 66", count)
+	}
+}
+
+func TestOptimizeSimplex3BadStep(t *testing.T) {
+	if _, _, err := OptimizeSimplex3(0, func(Weights3) float64 { return 0 }); err == nil {
+		t.Error("step 0 accepted")
+	}
+	if _, _, err := OptimizeSimplex3(2, func(Weights3) float64 { return 0 }); err == nil {
+		t.Error("step 2 accepted")
+	}
+}
+
+func TestAbsSlice(t *testing.T) {
+	got := AbsSlice([]float64{-1, 2, -3})
+	want := []float64{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("AbsSlice = %v, want %v", got, want)
+		}
+	}
+}

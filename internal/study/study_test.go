@@ -1,0 +1,337 @@
+package study
+
+import (
+	"math"
+	"testing"
+)
+
+// The full study runs once per process via Shared(); every test here reads
+// from that single run. This is the repository's primary integration test:
+// it exercises machines, probes, workloads, the executor, the tracer, the
+// convolver, all nine metrics, and the balanced rating together.
+
+func sharedOrSkip(t *testing.T) *Results {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("full study skipped in -short mode")
+	}
+	res, err := Shared()
+	if err != nil {
+		t.Fatalf("study failed: %v", err)
+	}
+	return res
+}
+
+func TestStudyDimensions(t *testing.T) {
+	res := sharedOrSkip(t)
+	if len(res.Cells) != 15 {
+		t.Errorf("cells = %d, want 15 (5 test cases x 3 CPU counts)", len(res.Cells))
+	}
+	if len(res.TargetNames) != 10 {
+		t.Errorf("targets = %d, want 10", len(res.TargetNames))
+	}
+	if len(res.Probes) != 11 {
+		t.Errorf("probe suites = %d, want 11 (base + 10 targets)", len(res.Probes))
+	}
+	obs := res.ObservationCount()
+	// The paper reports 150 observations; our grid loses a few cells to
+	// machines smaller than the job, like the paper's blank entries.
+	if obs < 135 || obs > 150 {
+		t.Errorf("observations = %d, want 135..150", obs)
+	}
+	if got, want := len(res.Predictions), 9*obs; got != want {
+		t.Errorf("predictions = %d, want %d (9 x observations)", got, want)
+	}
+}
+
+func TestMissingCellsMatchMachineSizes(t *testing.T) {
+	res := sharedOrSkip(t)
+	// ARL_690_1.7 has 128 processors: AVUS large at 256 and 384 cannot
+	// run there (the paper's appendix shows the same blanks).
+	k256 := Key{App: "avus", Case: "large", Procs: 256}
+	k384 := Key{App: "avus", Case: "large", Procs: 384}
+	if _, ok := res.Observed[k256]["ARL_690_1.7"]; ok {
+		t.Error("avus-large@256 observed on a 128-processor machine")
+	}
+	if _, ok := res.Observed[k384]["ARL_Altix"]; ok {
+		t.Error("avus-large@384 observed on a 256-processor machine")
+	}
+	// And every cell that fits is present.
+	if _, ok := res.Observed[k384]["NAVO_655"]; !ok {
+		t.Error("avus-large@384 missing on the 2832-processor p655")
+	}
+}
+
+func TestMetric4ReducesToMetric1(t *testing.T) {
+	res := sharedOrSkip(t)
+	// Paper Table 4: the convolver with FP-only rates must reproduce the
+	// simple HPL ratio exactly, cell by cell.
+	type cellKey struct {
+		k Key
+		m string
+	}
+	m1 := map[cellKey]float64{}
+	for _, p := range res.Predictions {
+		if p.MetricID == 1 {
+			m1[cellKey{p.Key, p.Machine}] = p.Predicted
+		}
+	}
+	for _, p := range res.Predictions {
+		if p.MetricID != 4 {
+			continue
+		}
+		want := m1[cellKey{p.Key, p.Machine}]
+		if math.Abs(p.Predicted-want) > 1e-6*want {
+			t.Fatalf("%s on %s: metric4 %g != metric1 %g", p.Key, p.Machine, p.Predicted, want)
+		}
+	}
+}
+
+func TestHPLIsTheWorstMetric(t *testing.T) {
+	res := sharedOrSkip(t)
+	hpl := res.MetricSummary(1).MeanAbs
+	for id := 2; id <= 9; id++ {
+		if id == 4 {
+			continue // identical to 1 by construction
+		}
+		if s := res.MetricSummary(id).MeanAbs; s >= hpl {
+			t.Errorf("metric %d (%.0f%%) not better than HPL (%.0f%%)", id, s, hpl)
+		}
+	}
+}
+
+func TestTracedMetricsBeatSimpleAverage(t *testing.T) {
+	res := sharedOrSkip(t)
+	// The paper's headline: trace-convolution metrics (#6-#9) predict
+	// with ~80% accuracy and beat the simple metrics overall.
+	simple := (res.MetricSummary(1).MeanAbs + res.MetricSummary(2).MeanAbs +
+		res.MetricSummary(3).MeanAbs) / 3
+	for id := 6; id <= 9; id++ {
+		s := res.MetricSummary(id).MeanAbs
+		if s >= simple {
+			t.Errorf("metric %d (%.0f%%) not better than the simple-metric mean (%.0f%%)", id, s, simple)
+		}
+		if s > 25 {
+			t.Errorf("metric %d error %.0f%% above the ~80%%-accuracy band", id, s)
+		}
+	}
+}
+
+func TestAllPredictionsFinite(t *testing.T) {
+	res := sharedOrSkip(t)
+	for _, p := range res.Predictions {
+		if p.Predicted <= 0 || math.IsNaN(p.Predicted) || math.IsInf(p.Predicted, 0) {
+			t.Fatalf("bad prediction %+v", p)
+		}
+		if p.Actual <= 0 {
+			t.Fatalf("bad actual %+v", p)
+		}
+	}
+}
+
+func TestBalancedRating(t *testing.T) {
+	res := sharedOrSkip(t)
+	b := res.Balanced
+	if b.FixedSummary.N == 0 || b.OptSummary.N == 0 {
+		t.Fatal("balanced rating did not run")
+	}
+	// Optimized weights cannot be worse than fixed weights on the same
+	// objective.
+	if b.OptSummary.MeanAbs > b.FixedSummary.MeanAbs+1e-9 {
+		t.Errorf("optimized %.1f%% worse than fixed %.1f%%",
+			b.OptSummary.MeanAbs, b.FixedSummary.MeanAbs)
+	}
+	var sum float64
+	for _, w := range b.OptWeights {
+		if w < 0 {
+			t.Errorf("negative weight %v", b.OptWeights)
+		}
+		sum += w
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("weights %v do not sum to 1", b.OptWeights)
+	}
+	// As in the paper, the fixed equal weighting must not significantly
+	// beat the best simple metric.
+	best := math.Min(res.MetricSummary(2).MeanAbs, res.MetricSummary(3).MeanAbs)
+	if b.FixedSummary.MeanAbs < best*0.8 {
+		t.Errorf("fixed balanced rating (%.0f%%) significantly beats best simple metric (%.0f%%), contradicting the paper",
+			b.FixedSummary.MeanAbs, best)
+	}
+}
+
+func TestObservedTimesInPaperRange(t *testing.T) {
+	res := sharedOrSkip(t)
+	// Times-to-solution should be hours-scale like the appendix tables,
+	// not milliseconds or weeks.
+	for key, obs := range res.Observed {
+		for name, v := range obs {
+			if v < 10 || v > 2e5 {
+				t.Errorf("%s on %s: observed %.3g s out of plausible range", key, name, v)
+			}
+		}
+	}
+}
+
+func TestOpteronFastestP3SlowestOverall(t *testing.T) {
+	res := sharedOrSkip(t)
+	means := map[string]float64{}
+	for _, name := range res.TargetNames {
+		var sum float64
+		var n int
+		for _, key := range res.Cells {
+			if v, ok := res.Observed[key][name]; ok {
+				sum += v / res.BaseTimes[key]
+				n++
+			}
+		}
+		means[name] = sum / float64(n)
+	}
+	if means["ARL_Opteron"] >= means["MHPCC_P3"] {
+		t.Errorf("Opteron (%.2f) not faster than P3 (%.2f) relative to base",
+			means["ARL_Opteron"], means["MHPCC_P3"])
+	}
+}
+
+func TestAggregationHelpers(t *testing.T) {
+	res := sharedOrSkip(t)
+	s := res.MetricSummary(6)
+	if s.N == 0 || s.MeanAbs <= 0 {
+		t.Fatalf("MetricSummary degenerate: %+v", s)
+	}
+	sys := res.SystemSummary(res.TargetNames[0], 6)
+	if sys.N != 15 && sys.N != 14 && sys.N != 13 { // cells observed on that system
+		t.Errorf("SystemSummary N = %d", sys.N)
+	}
+	cells := res.AppCells("avus-standard")
+	if len(cells) != 3 || cells[0].Procs != 32 {
+		t.Fatalf("AppCells = %v", cells)
+	}
+	cell := res.CellSummary(cells[0], 9)
+	if cell.N == 0 {
+		t.Fatal("CellSummary empty")
+	}
+}
+
+func TestObservationNoiseProperties(t *testing.T) {
+	k := Key{App: "a", Case: "b", Procs: 8}
+	n1 := observationNoise(k, "m1")
+	n2 := observationNoise(k, "m1")
+	if n1 != n2 {
+		t.Fatal("noise not deterministic")
+	}
+	if n1 < 1-NoiseAmplitude || n1 > 1+NoiseAmplitude {
+		t.Fatalf("noise %g outside band", n1)
+	}
+	if observationNoise(k, "m2") == n1 {
+		t.Fatal("noise identical across machines")
+	}
+}
+
+func TestKeyString(t *testing.T) {
+	k := Key{App: "avus", Case: "large", Procs: 384}
+	if k.String() != "avus-large@384" || k.AppID() != "avus-large" {
+		t.Fatalf("key formatting: %s / %s", k, k.AppID())
+	}
+}
+
+func TestMetricCorrelations(t *testing.T) {
+	res := sharedOrSkip(t)
+	// Every metric should correlate positively (machines differ by up to
+	// an order of magnitude, which even HPL partially tracks), and the
+	// trace-convolution metrics must track performance essentially
+	// monotonically.
+	var hplRho, bestRho float64
+	for id := 1; id <= 9; id++ {
+		c, err := res.MetricCorrelation(id)
+		if err != nil {
+			t.Fatalf("metric %d: %v", id, err)
+		}
+		if c.N < 100 {
+			t.Fatalf("metric %d correlation over %d points", id, c.N)
+		}
+		if c.Pearson <= 0 || c.Spearman <= 0 {
+			t.Errorf("metric %d anticorrelated: r=%.2f rho=%.2f", id, c.Pearson, c.Spearman)
+		}
+		switch id {
+		case 1:
+			hplRho = c.Spearman
+		case 9:
+			bestRho = c.Spearman
+			if c.Spearman < 0.9 {
+				t.Errorf("metric 9 rank correlation %.2f below 0.9", c.Spearman)
+			}
+		}
+	}
+	if bestRho <= hplRho {
+		t.Errorf("metric 9 (rho %.2f) does not rank systems better than HPL (rho %.2f)",
+			bestRho, hplRho)
+	}
+}
+
+func TestAblationOptions(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a partial study")
+	}
+	// A filtered, noise-free, dependency-blind study: cheap (one test
+	// case) and checks all three ablation switches.
+	res, err := Run(Options{
+		Apps:              []string{"rfcth-standard"},
+		DisableNoise:      true,
+		NoDependencyFlags: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cells) != 3 {
+		t.Fatalf("filtered study has %d cells, want 3", len(res.Cells))
+	}
+	for _, tr := range res.Traces {
+		for _, bt := range tr.Blocks {
+			if bt.ILPLimited {
+				t.Fatal("dependency flags present despite NoDependencyFlags")
+			}
+		}
+	}
+	// With identical traces for metrics 8 and 9, their predictions match.
+	type ck struct {
+		k Key
+		m string
+	}
+	m8 := map[ck]float64{}
+	for _, p := range res.Predictions {
+		if p.MetricID == 8 {
+			m8[ck{p.Key, p.Machine}] = p.Predicted
+		}
+	}
+	for _, p := range res.Predictions {
+		if p.MetricID == 9 && math.Abs(p.Predicted-m8[ck{p.Key, p.Machine}]) > 1e-9 {
+			t.Fatal("metric 9 differs from metric 8 with dependency flags ablated")
+		}
+	}
+}
+
+func TestIdleMemoryAblationChangesObservations(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a partial study")
+	}
+	loaded, err := Run(Options{Apps: []string{"overflow2-standard"}, DisableNoise: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	idle, err := Run(Options{Apps: []string{"overflow2-standard"}, DisableNoise: true, IdleMemory: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := Key{App: "overflow2", Case: "standard", Procs: 48}
+	for _, name := range loaded.TargetNames {
+		l, okL := loaded.Observed[key][name]
+		i, okI := idle.Observed[key][name]
+		if okL != okI {
+			t.Fatalf("%s: observation presence differs", name)
+		}
+		if okL && i >= l {
+			t.Errorf("%s: idle-memory run %g not faster than loaded %g", name, i, l)
+		}
+	}
+}
