@@ -1,0 +1,30 @@
+# Development entry points; CI (.github/workflows/ci.yml) runs the same
+# commands. See README "Development & static analysis".
+
+GO ?= go
+
+.PHONY: build test race lint bench fmt
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# race includes the concurrent SharedStudy test; expect tens of minutes,
+# dominated by the full study under the race detector (the -timeout
+# raises go test's 10m per-package default, which the instrumented study
+# exceeds on small machines).
+race:
+	$(GO) test -race -timeout 40m ./...
+
+# lint = go vet + the repo's own analyzer suite (cmd/hpclint).
+lint:
+	$(GO) vet ./...
+	$(GO) run ./cmd/hpclint ./...
+
+bench:
+	$(GO) test -bench=. -benchtime=1x -run=^$$ ./...
+
+fmt:
+	gofmt -w .

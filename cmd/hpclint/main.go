@@ -1,0 +1,77 @@
+// Command hpclint runs the repository's custom static-analysis suite (see
+// internal/analysis) over package patterns and exits non-zero if any
+// diagnostic survives. It is the CI gate for the study's correctness
+// invariants: float comparison discipline, unit-suffix hygiene,
+// simulation determinism, error flow, and preset aliasing.
+//
+// Usage:
+//
+//	hpclint [-list] [packages]
+//
+// Patterns are directories, optionally ending in /... for recursion; the
+// default is ./... . Suppress a finding with a line or preceding-line
+// comment:
+//
+//	//hpclint:ignore floatcmp rank ties need exact equality
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hpcmetrics/internal/analysis"
+	"hpcmetrics/internal/analysis/framework"
+	"hpcmetrics/internal/analysis/load"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	flag.Parse()
+
+	analyzers := analysis.All()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	diags, err := run(patterns, analyzers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hpclint: %v\n", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "hpclint: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}
+
+func run(patterns []string, analyzers []*framework.Analyzer) ([]framework.Diagnostic, error) {
+	dirs, err := load.Expand(patterns)
+	if err != nil {
+		return nil, err
+	}
+	loader := load.New()
+	var all []framework.Diagnostic
+	for _, dir := range dirs {
+		pkg, err := loader.Load(dir)
+		if err != nil {
+			return nil, err
+		}
+		diags, err := framework.Run(pkg, analyzers)
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, diags...)
+	}
+	return all, nil
+}

@@ -111,7 +111,12 @@ func (r *rng) float64() float64 {
 	return float64(r.next()>>11) / float64(1<<53)
 }
 
-// intn returns a uniform value in [0,n).
+// intn returns a uniform value in [0,n). A non-positive bound panics: it
+// is an internal invariant, unreachable from the exported API because
+// newGenerator rejects degenerate specs with an error before any draw
+// happens (see the spread check there). Keeping the panic — rather than
+// threading an error through the per-reference hot path — was a
+// deliberate decision of the PR-1 panic audit.
 func (r *rng) intn(n int64) int64 {
 	if n <= 0 {
 		panic("access: intn on non-positive bound")

@@ -58,6 +58,7 @@ func TestGenerateRejectsBadSpecs(t *testing.T) {
 		{WorkingSetBytes: -5, Mix: Mix{Unit: 1}},                               // negative ws
 		{WorkingSetBytes: 1024, Mix: Mix{Unit: 0.4, Short: 0.4, Random: 0.4}},  // sums to 1.2
 		{WorkingSetBytes: 1024, Mix: Mix{Unit: 1.0000001, Random: -0.0000001}}, // tiny negative
+		{WorkingSetBytes: 1024, Mix: Mix{Unit: 1}, GatherSpread: 1e30},         // spread overflows int64
 	}
 	for i, spec := range bad {
 		if _, err := Generate(spec, 10); err == nil {

@@ -94,7 +94,17 @@ func newGenerator(spec StreamSpec) (*generator, error) {
 	if spreadF < 1 {
 		spreadF = 1
 	}
-	spread := int64(float64(elems) * spreadF)
+	// This is the error-returning boundary for the rng invariant: every
+	// random draw downstream indexes [0, spread), and rng.intn treats a
+	// non-positive bound as a programming error. Validate() already forces
+	// WorkingSetBytes >= ElemBytes (so elems >= 1), but an absurd
+	// GatherSpread can still push the region past int64 and wrap negative
+	// on conversion; refuse it here rather than panicking mid-stream.
+	spreadElems := float64(elems) * spreadF
+	if spreadElems > float64(1<<62) {
+		return nil, fmt.Errorf("access: gather spread %g overflows the random region", spec.GatherSpread)
+	}
+	spread := int64(spreadElems)
 	if spread < elems {
 		spread = elems
 	}

@@ -1,0 +1,35 @@
+// Package analysis aggregates the hpclint analyzer suite — the study's
+// correctness invariants that the Go compiler cannot see, turned into
+// machine checks:
+//
+//	floatcmp   no == / != between floats outside tolerance helpers
+//	unitmix    no additive mixing of conflicting unit suffixes
+//	detrand    no wall clock, global rand, or map-ordered output in
+//	           the simulation packages
+//	errflow    no discarded errors in internal packages
+//	presetmut  no mutation of shared machine preset Configs
+//
+// The suite is run by cmd/hpclint and gated in CI; individual findings
+// can be suppressed with a //hpclint:ignore directive (see the framework
+// package).
+package analysis
+
+import (
+	"hpcmetrics/internal/analysis/detrand"
+	"hpcmetrics/internal/analysis/errflow"
+	"hpcmetrics/internal/analysis/floatcmp"
+	"hpcmetrics/internal/analysis/framework"
+	"hpcmetrics/internal/analysis/presetmut"
+	"hpcmetrics/internal/analysis/unitmix"
+)
+
+// All returns the full analyzer suite in stable order.
+func All() []*framework.Analyzer {
+	return []*framework.Analyzer{
+		floatcmp.Analyzer,
+		unitmix.Analyzer,
+		detrand.Analyzer,
+		errflow.Analyzer,
+		presetmut.Analyzer,
+	}
+}

@@ -1,0 +1,130 @@
+// Package analysistest runs an hpclint analyzer against fixture packages
+// and checks its diagnostics against expectations written in the fixtures
+// themselves, in the style of golang.org/x/tools/go/analysis/analysistest:
+//
+//	x := a == b // want `floating-point == comparison`
+//
+// Each string after "want" (quoted or backquoted) is a regular expression
+// that must match the message of a distinct diagnostic reported on that
+// line; diagnostics with no matching expectation, and expectations with no
+// matching diagnostic, fail the test.
+//
+// Fixtures are laid out GOPATH-style under dir/src/<importpath>/, so a
+// fixture package may import a sibling fixture package by that path.
+package analysistest
+
+import (
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"hpcmetrics/internal/analysis/framework"
+	"hpcmetrics/internal/analysis/load"
+)
+
+// expectation is one "want" pattern and whether a diagnostic matched it.
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	met  bool
+}
+
+// Run loads each fixture package beneath dir/src, applies the analyzer,
+// and reports mismatches through t.
+func Run(t *testing.T, dir string, a *framework.Analyzer, pkgs ...string) {
+	t.Helper()
+	srcRoot, err := filepath.Abs(filepath.Join(dir, "src"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader := load.New()
+	loader.SrcRoots = []string{srcRoot}
+	for _, pkgPath := range pkgs {
+		pkg, err := loader.LoadAs(filepath.Join(srcRoot, filepath.FromSlash(pkgPath)), pkgPath)
+		if err != nil {
+			t.Fatalf("loading fixture %s: %v", pkgPath, err)
+		}
+		diags, err := framework.Run(pkg, []*framework.Analyzer{a})
+		if err != nil {
+			t.Fatalf("running %s on %s: %v", a.Name, pkgPath, err)
+		}
+		expects := collectExpectations(t, pkg)
+		checkPackage(t, pkgPath, diags, expects)
+	}
+}
+
+func checkPackage(t *testing.T, pkgPath string, diags []framework.Diagnostic, expects []*expectation) {
+	t.Helper()
+	for _, d := range diags {
+		matched := false
+		for _, e := range expects {
+			if !e.met && e.file == d.Pos.Filename && e.line == d.Pos.Line && e.re.MatchString(d.Message) {
+				e.met = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: %s", pkgPath, d)
+		}
+	}
+	for _, e := range expects {
+		if !e.met {
+			t.Errorf("%s: %s:%d: no diagnostic matching %q", pkgPath, e.file, e.line, e.re)
+		}
+	}
+}
+
+// collectExpectations scans the fixture's comments for "want" markers.
+func collectExpectations(t *testing.T, pkg *load.Package) []*expectation {
+	t.Helper()
+	var out []*expectation
+	for _, f := range pkg.Syntax {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//")
+				if !ok {
+					continue // a /* */ comment cannot carry expectations
+				}
+				idx := strings.Index(text, "want ")
+				if idx < 0 {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for _, pat := range parsePatterns(t, text[idx+len("want "):], pos.String()) {
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %q: %v", pos, pat, err)
+					}
+					out = append(out, &expectation{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// parsePatterns splits `"re1" "re2"` / backquoted forms into raw patterns.
+func parsePatterns(t *testing.T, s, pos string) []string {
+	t.Helper()
+	var pats []string
+	for {
+		s = strings.TrimSpace(s)
+		if s == "" {
+			return pats
+		}
+		q, err := strconv.QuotedPrefix(s)
+		if err != nil {
+			t.Fatalf("%s: malformed want expectation %q", pos, s)
+		}
+		unq, err := strconv.Unquote(q)
+		if err != nil {
+			t.Fatalf("%s: malformed want pattern %q", pos, q)
+		}
+		pats = append(pats, unq)
+		s = s[len(q):]
+	}
+}

@@ -1,0 +1,144 @@
+// Package detrand keeps the simulation packages deterministic.
+//
+// The study produces 1,350 predictions that must be bit-reproducible from
+// run to run (cf. Cornebize & Legrand 2021 on variability silently
+// corrupting simulation-based prediction). Inside the simulation packages
+// (memsim, cpusim, netsim, simexec, probes, convolve, study) this analyzer
+// forbids the three stdlib escape hatches that break that property:
+//
+//   - time.Now — wall-clock time leaking into simulated time;
+//   - the global math/rand source (rand.Float64, rand.Intn, ...) — seeded
+//     per process, and since Go 1.20 seeded randomly. Explicit generators
+//     (rand.New(rand.NewSource(seed)) or internal/access's splitmix64)
+//     remain allowed;
+//   - emitting output while ranging over a map — Go randomizes map
+//     iteration order, so anything printed or written inside such a loop
+//     changes between runs. Order-insensitive loops (sums, counts) are
+//     fine; emit output by collecting and sorting keys first.
+package detrand
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"hpcmetrics/internal/analysis/framework"
+)
+
+// Analyzer is the detrand check.
+var Analyzer = &framework.Analyzer{
+	Name: "detrand",
+	Doc: "forbids time.Now, the global math/rand source, and map-iteration-ordered " +
+		"output in the simulation packages, keeping the study bit-reproducible",
+	Run: run,
+}
+
+// simPackages are the packages whose outputs feed the study's numbers.
+var simPackages = map[string]bool{
+	"memsim":   true,
+	"cpusim":   true,
+	"netsim":   true,
+	"simexec":  true,
+	"probes":   true,
+	"convolve": true,
+	"study":    true,
+}
+
+// randConstructors are the math/rand functions that build explicit,
+// seedable generators rather than touching the global source.
+var randConstructors = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true,
+	"NewChaCha8": true,
+}
+
+func run(pass *framework.Pass) error {
+	if !simPackages[pass.Pkg.Name()] {
+		return nil
+	}
+	for _, f := range pass.Syntax {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkCall(pass, n)
+			case *ast.RangeStmt:
+				checkRange(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkCall(pass *framework.Pass, call *ast.CallExpr) {
+	fn := calledFunc(pass, call)
+	if fn == nil || fn.Pkg() == nil {
+		return
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() != nil {
+		return // methods (e.g. on an explicit *rand.Rand) are fine
+	}
+	switch fn.Pkg().Path() {
+	case "time":
+		if fn.Name() == "Now" {
+			pass.Reportf(call.Pos(), "time.Now in a simulation package; derive timestamps from simulated time")
+		}
+	case "math/rand", "math/rand/v2":
+		if !randConstructors[fn.Name()] {
+			pass.Reportf(call.Pos(), "global math/rand source (rand.%s) is not reproducible; use a seeded rand.New(rand.NewSource(...)) or the access package's rng", fn.Name())
+		}
+	}
+}
+
+// calledFunc resolves the called function's object, if it is a named one.
+func calledFunc(pass *framework.Pass, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := pass.Info.Uses[id].(*types.Func)
+	return fn
+}
+
+// checkRange flags ranging over a map when the body emits output.
+func checkRange(pass *framework.Pass, rs *ast.RangeStmt) {
+	t := pass.Info.TypeOf(rs.X)
+	if t == nil {
+		return
+	}
+	if _, isMap := t.Underlying().(*types.Map); !isMap {
+		return
+	}
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if emitsOutput(pass, call) {
+			pass.Reportf(rs.For, "map iteration order is random; sort the keys before emitting output")
+			return false
+		}
+		return true
+	})
+}
+
+// emitsOutput recognizes fmt formatting calls and Write-family methods.
+func emitsOutput(pass *framework.Pass, call *ast.CallExpr) bool {
+	if fn := calledFunc(pass, call); fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+		return true
+	}
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if strings.HasPrefix(sel.Sel.Name, "Write") {
+			return true
+		}
+	}
+	return false
+}

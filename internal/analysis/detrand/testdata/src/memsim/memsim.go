@@ -1,0 +1,59 @@
+package memsim
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"time"
+)
+
+func badClock() int64 {
+	return time.Now().UnixNano() // want `time.Now in a simulation package`
+}
+
+func badGlobalRand() float64 {
+	return rand.Float64() // want `global math/rand source`
+}
+
+func badGlobalIntn(n int) int {
+	return rand.Intn(n) // want `global math/rand source`
+}
+
+func okSeededRand() float64 {
+	r := rand.New(rand.NewSource(42)) // explicit seeded generator: allowed
+	return r.Float64()
+}
+
+func okSince(t0 time.Time) time.Duration {
+	return time.Since(t0) // only time.Now itself is flagged
+}
+
+func badMapOutput(m map[string]float64) string {
+	var b strings.Builder
+	for k, v := range m { // want `map iteration order is random`
+		fmt.Fprintf(&b, "%s=%g\n", k, v)
+	}
+	return b.String()
+}
+
+func badMapWrite(m map[string]float64, b *strings.Builder) {
+	for k := range m { // want `map iteration order is random`
+		b.WriteString(k)
+	}
+}
+
+func okMapReduce(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m { // order-insensitive reduction: allowed
+		sum += v
+	}
+	return sum
+}
+
+func okSliceOutput(xs []float64) string {
+	var b strings.Builder
+	for i, v := range xs { // slices iterate in order: allowed
+		fmt.Fprintf(&b, "%d=%g\n", i, v)
+	}
+	return b.String()
+}

@@ -1,0 +1,12 @@
+// Package notsim is outside the simulation set; wall-clock time and the
+// global rand source are legitimate here (progress logging, CLI jitter).
+package notsim
+
+import (
+	"math/rand"
+	"time"
+)
+
+func Timestamp() time.Time { return time.Now() } // non-simulation package: allowed
+
+func Jitter() float64 { return rand.Float64() } // non-simulation package: allowed

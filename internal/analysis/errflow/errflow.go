@@ -1,0 +1,174 @@
+// Package errflow flags discarded errors in the internal packages.
+//
+// A prediction study that silently swallows an error keeps producing
+// numbers — wrong ones. Two discard shapes are flagged: calls used as
+// bare statements whose results include an error, and assignments that
+// send an error result to the blank identifier (_ = f(), or v, _ := g()).
+//
+// Exemptions, matching what the codebase treats as infallible by
+// convention: the fmt printing functions (their error is for broken
+// writers; progress output goes to best-effort writers here) and methods
+// on strings.Builder and bytes.Buffer, whose errors are documented to be
+// always nil.
+package errflow
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"hpcmetrics/internal/analysis/framework"
+)
+
+// Analyzer is the errflow check.
+var Analyzer = &framework.Analyzer{
+	Name: "errflow",
+	Doc: "flags discarded errors in internal packages: bare call statements that " +
+		"return an error, and error results assigned to _",
+	Run: run,
+}
+
+func run(pass *framework.Pass) error {
+	if !strings.Contains(pass.Pkg.Path(), "internal") {
+		return nil
+	}
+	for _, f := range pass.Syntax {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				checkExprStmt(pass, n)
+			case *ast.AssignStmt:
+				checkAssign(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkExprStmt(pass *framework.Pass, stmt *ast.ExprStmt) {
+	call, ok := ast.Unparen(stmt.X).(*ast.CallExpr)
+	if !ok || exempt(pass, call) {
+		return
+	}
+	if i := errResult(pass, call); i >= 0 {
+		pass.Reportf(call.Pos(), "error result of %s is discarded (handle it or assign it explicitly)", callName(call))
+	}
+}
+
+func checkAssign(pass *framework.Pass, as *ast.AssignStmt) {
+	// v, _ := f() — one call, several results, blank in an error position.
+	if len(as.Rhs) == 1 {
+		if call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr); ok && len(as.Lhs) > 1 {
+			if exempt(pass, call) {
+				return
+			}
+			tup, ok := pass.Info.TypeOf(call).(*types.Tuple)
+			if !ok {
+				return
+			}
+			for i := 0; i < tup.Len() && i < len(as.Lhs); i++ {
+				if isBlank(as.Lhs[i]) && isErrorType(tup.At(i).Type()) {
+					pass.Reportf(as.Lhs[i].Pos(), "error result of %s is discarded into _", callName(call))
+				}
+			}
+			return
+		}
+	}
+	// _ = f() pairs (also covers multi-assign with one-to-one RHS).
+	for i, lhs := range as.Lhs {
+		if !isBlank(lhs) || i >= len(as.Rhs) {
+			continue
+		}
+		call, ok := ast.Unparen(as.Rhs[i]).(*ast.CallExpr)
+		if !ok || exempt(pass, call) {
+			continue
+		}
+		if isErrorType(pass.Info.TypeOf(call)) {
+			pass.Reportf(lhs.Pos(), "error result of %s is discarded into _", callName(call))
+		}
+	}
+}
+
+// errResult returns the index of an error in the call's results, or -1.
+func errResult(pass *framework.Pass, call *ast.CallExpr) int {
+	switch t := pass.Info.TypeOf(call).(type) {
+	case *types.Tuple:
+		for i := 0; i < t.Len(); i++ {
+			if isErrorType(t.At(i).Type()) {
+				return i
+			}
+		}
+	default:
+		if isErrorType(t) {
+			return 0
+		}
+	}
+	return -1
+}
+
+// callName renders the called function for a diagnostic message.
+func callName(call *ast.CallExpr) string {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		if x, ok := ast.Unparen(fun.X).(*ast.Ident); ok {
+			return x.Name + "." + fun.Sel.Name
+		}
+		return fun.Sel.Name
+	}
+	return "the call"
+}
+
+var errorType = types.Universe.Lookup("error").Type()
+
+func isErrorType(t types.Type) bool {
+	return t != nil && types.Identical(t, errorType)
+}
+
+func isBlank(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "_"
+}
+
+// exempt reports whether the call's error is conventionally ignorable.
+func exempt(pass *framework.Pass, call *ast.CallExpr) bool {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return false
+	}
+	fn, ok := pass.Info.Uses[id].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return false
+	}
+	if fn.Pkg().Path() == "fmt" {
+		return true
+	}
+	if recv := recvNamed(fn); recv != "" {
+		return recv == "strings.Builder" || recv == "bytes.Buffer"
+	}
+	return false
+}
+
+// recvNamed returns "pkgpath.TypeName" for the method's receiver type.
+func recvNamed(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return ""
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return ""
+	}
+	return named.Obj().Pkg().Path() + "." + named.Obj().Name()
+}

@@ -1,0 +1,12 @@
+package errflow_test
+
+import (
+	"testing"
+
+	"hpcmetrics/internal/analysis/analysistest"
+	"hpcmetrics/internal/analysis/errflow"
+)
+
+func TestErrflow(t *testing.T) {
+	analysistest.Run(t, "testdata", errflow.Analyzer, "internal/a", "cmdpkg")
+}

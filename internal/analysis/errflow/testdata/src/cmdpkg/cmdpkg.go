@@ -1,0 +1,10 @@
+// Package cmdpkg sits outside internal/..., where errflow does not apply
+// (examples and command mains may legitimately shorten error handling).
+package cmdpkg
+
+func mayFail() error { return nil }
+
+func Loose() {
+	mayFail() // outside internal: allowed
+	_ = mayFail()
+}

@@ -1,0 +1,52 @@
+package a
+
+import (
+	"fmt"
+	"os"
+	"strings"
+)
+
+func mayFail() error { return nil }
+
+func twoResults() (int, error) { return 0, nil }
+
+func badBareCall() {
+	mayFail() // want `error result of mayFail is discarded`
+}
+
+func badBlank() {
+	_ = mayFail() // want `discarded into _`
+}
+
+func badTupleBlank() (n int) {
+	n, _ = twoResults() // want `discarded into _`
+	return n
+}
+
+func okChecked() error {
+	if err := mayFail(); err != nil {
+		return err
+	}
+	n, err := twoResults()
+	if err != nil {
+		return err
+	}
+	_ = n
+	return nil
+}
+
+func okFmt() {
+	fmt.Println("progress") // fmt printing: exempt
+	fmt.Fprintf(os.Stderr, "stage done\n")
+}
+
+func okBuilder() string {
+	var b strings.Builder
+	b.WriteString("x") // strings.Builder errors are always nil: exempt
+	return b.String()
+}
+
+func okNonError() {
+	f := func() int { return 1 }
+	f() // no error in the results: allowed
+}

@@ -1,0 +1,87 @@
+// Package floatcmp flags == and != between floating-point operands.
+//
+// Every number in this codebase is a float64 carrying a physical quantity
+// (seconds, bytes/sec, ratios); after any arithmetic, exact equality is
+// meaningless and silently false. The study's comparison discipline is a
+// tolerance (math.Abs(a-b) <= eps). Two exemptions keep the check usable:
+//
+//   - comparisons against the exact constant zero, the conventional
+//     "unset / division guard" sentinel, are allowed;
+//   - the bodies of tolerance helpers themselves (functions whose name
+//     contains approx, almost, near, within, tol, eps, or close,
+//     case-insensitively) are allowed, since something has to perform the
+//     underlying comparison.
+package floatcmp
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"regexp"
+
+	"hpcmetrics/internal/analysis/framework"
+)
+
+// Analyzer is the floatcmp check.
+var Analyzer = &framework.Analyzer{
+	Name: "floatcmp",
+	Doc: "flags == / != on floating-point operands outside tolerance helpers " +
+		"(exact float equality is almost always a bug; compare within an epsilon)",
+	Run: run,
+}
+
+var toleranceHelper = regexp.MustCompile(`(?i)approx|almost|near|within|tol|eps|close`)
+
+func run(pass *framework.Pass) error {
+	for _, f := range pass.Syntax {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && toleranceHelper.MatchString(fd.Name.Name) {
+				continue
+			}
+			check(pass, decl)
+		}
+	}
+	return nil
+}
+
+func check(pass *framework.Pass, n ast.Node) {
+	ast.Inspect(n, func(n ast.Node) bool {
+		// Nested tolerance helpers (function literals assigned to a
+		// helper-named variable) are rare enough not to special-case.
+		be, ok := n.(*ast.BinaryExpr)
+		if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+			return true
+		}
+		if !isFloat(pass.Info.TypeOf(be.X)) && !isFloat(pass.Info.TypeOf(be.Y)) {
+			return true
+		}
+		if isZeroConst(pass, be.X) || isZeroConst(pass, be.Y) {
+			return true
+		}
+		pass.Reportf(be.OpPos, "floating-point %s comparison (use a tolerance, e.g. math.Abs(a-b) <= eps)", be.Op)
+		return true
+	})
+}
+
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&(types.IsFloat|types.IsComplex) != 0
+}
+
+// isZeroConst reports whether e is the constant 0 (the exact sentinel
+// convention this codebase allows in equality tests).
+func isZeroConst(pass *framework.Pass, e ast.Expr) bool {
+	tv, ok := pass.Info.Types[e]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	switch tv.Value.Kind() {
+	case constant.Int, constant.Float:
+		return constant.Sign(tv.Value) == 0
+	}
+	return false
+}

@@ -1,0 +1,36 @@
+package a
+
+import "math"
+
+const eps = 1e-9
+
+func bad(x, y float64) bool {
+	return x == y // want `floating-point == comparison`
+}
+
+func badNeq(x float32, t struct{ v float32 }) bool {
+	return x != t.v // want `floating-point != comparison`
+}
+
+func badConst(x float64) bool {
+	return x == 0.3 // want `floating-point == comparison`
+}
+
+func zeroGuard(x float64) bool {
+	return x == 0 // exact zero sentinel: allowed
+}
+
+func approxEqual(x, y float64) bool {
+	return x == y || math.Abs(x-y) <= eps // tolerance helper: allowed
+}
+
+func viaHelper(x, y float64) bool { return approxEqual(x, y) }
+
+func ints(a, b int) bool { return a == b } // not floats: allowed
+
+func ordered(x, y float64) bool { return x < y } // ordering: allowed
+
+func suppressed(x, y float64) bool {
+	//hpclint:ignore floatcmp exercised by the framework's directive test
+	return x == y
+}

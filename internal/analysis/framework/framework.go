@@ -1,0 +1,159 @@
+// Package framework is the hpclint analyzer harness: a deliberately small
+// subset of the golang.org/x/tools/go/analysis API (Analyzer, Pass,
+// Reportf) built on the stdlib-only loader in internal/analysis/load.
+//
+// Suppression: a diagnostic can be silenced with a directive comment
+//
+//	//hpclint:ignore floatcmp,unitmix reason for the exception
+//
+// which applies to diagnostics on its own line and on the line below it
+// (so it works both as a trailing comment and as a standalone line above
+// the flagged statement). The reason text is free-form but encouraged.
+package framework
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"hpcmetrics/internal/analysis/load"
+)
+
+// Analyzer is one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in output and ignore directives.
+	Name string
+	// Doc is a one-paragraph description, shown by hpclint -list.
+	Doc string
+	// Run performs the check on one package, reporting through the pass.
+	Run func(*Pass) error
+}
+
+// Pass carries one package through one analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Syntax   []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+		Analyzer: p.Analyzer.Name,
+	})
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos      token.Position
+	Message  string
+	Analyzer string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s (%s)", d.Pos, d.Message, d.Analyzer)
+}
+
+// Run applies the analyzers to one loaded package and returns the
+// surviving (non-suppressed) diagnostics in position order.
+func Run(pkg *load.Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer: a,
+			Fset:     pkg.Fset,
+			Syntax:   pkg.Syntax,
+			Pkg:      pkg.Types,
+			Info:     pkg.Info,
+			diags:    &diags,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.PkgPath, err)
+		}
+	}
+	diags = suppress(pkg, diags)
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags, nil
+}
+
+// suppress drops diagnostics covered by //hpclint:ignore directives.
+func suppress(pkg *load.Package, diags []Diagnostic) []Diagnostic {
+	// ignored[file][line] holds the analyzer names silenced on that line.
+	ignored := map[string]map[int]map[string]bool{}
+	for _, f := range pkg.Syntax {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				names, ok := parseIgnore(c.Text)
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				lines := ignored[pos.Filename]
+				if lines == nil {
+					lines = map[int]map[string]bool{}
+					ignored[pos.Filename] = lines
+				}
+				for _, ln := range []int{pos.Line, pos.Line + 1} {
+					if lines[ln] == nil {
+						lines[ln] = map[string]bool{}
+					}
+					for _, n := range names {
+						lines[ln][n] = true
+					}
+				}
+			}
+		}
+	}
+	if len(ignored) == 0 {
+		return diags
+	}
+	kept := diags[:0]
+	for _, d := range diags {
+		if ignored[d.Pos.Filename][d.Pos.Line][d.Analyzer] {
+			continue
+		}
+		kept = append(kept, d)
+	}
+	return kept
+}
+
+// parseIgnore extracts the analyzer names from an ignore directive
+// comment, or reports that the comment is not one.
+func parseIgnore(text string) ([]string, bool) {
+	rest, ok := strings.CutPrefix(text, "//hpclint:ignore")
+	if !ok || (rest != "" && rest[0] != ' ' && rest[0] != '\t') {
+		return nil, false
+	}
+	fields := strings.Fields(rest)
+	if len(fields) == 0 {
+		return nil, false
+	}
+	var names []string
+	for _, n := range strings.Split(fields[0], ",") {
+		if n != "" {
+			names = append(names, n)
+		}
+	}
+	return names, len(names) > 0
+}

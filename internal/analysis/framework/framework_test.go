@@ -1,0 +1,33 @@
+package framework
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestParseIgnore(t *testing.T) {
+	cases := []struct {
+		text  string
+		names []string
+	}{
+		{"//hpclint:ignore floatcmp rank ties need exact equality", []string{"floatcmp"}},
+		{"//hpclint:ignore floatcmp,unitmix two at once", []string{"floatcmp", "unitmix"}},
+		{"//hpclint:ignore detrand", []string{"detrand"}},
+		{"//hpclint:ignore", nil},    // no analyzer named: not a directive
+		{"// hpclint:ignore x", nil}, // space breaks the directive prefix
+		{"//hpclint:ignored x", nil}, // a different word, not this directive
+		{"// plain comment", nil},
+	}
+	for _, c := range cases {
+		names, ok := parseIgnore(c.text)
+		if c.names == nil {
+			if ok {
+				t.Errorf("parseIgnore(%q) = %v, want none", c.text, names)
+			}
+			continue
+		}
+		if !ok || !reflect.DeepEqual(names, c.names) {
+			t.Errorf("parseIgnore(%q) = %v, %v; want %v", c.text, names, ok, c.names)
+		}
+	}
+}

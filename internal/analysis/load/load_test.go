@@ -1,0 +1,84 @@
+package load
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// mkTree builds a throwaway module tree and returns its root.
+func mkTree(t *testing.T) string {
+	t.Helper()
+	root := t.TempDir()
+	files := map[string]string{
+		"a/a.go":                "package a\n",
+		"a/a_test.go":           "package a\n",
+		"a/testdata/x/x.go":     "package x\n",
+		"b/only_test.go":        "package b\n", // test-only: not a package dir
+		"c/vendor/v/v.go":       "package v\n",
+		"c/c.go":                "package c\n",
+		".hidden/h.go":          "package h\n",
+		"_skipped/s.go":         "package s\n",
+		"d/nested/deep/deep.go": "package deep\n",
+	}
+	for name, src := range files {
+		p := filepath.Join(root, filepath.FromSlash(name))
+		if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(p, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return root
+}
+
+func TestExpandRecursive(t *testing.T) {
+	root := mkTree(t)
+	dirs, err := Expand([]string{root + "/..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]bool{}
+	for _, d := range dirs {
+		rel, err := filepath.Rel(root, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got[filepath.ToSlash(rel)] = true
+	}
+	for _, want := range []string{"a", "c", "d/nested/deep"} {
+		if !got[want] {
+			t.Errorf("Expand missed %q (got %v)", want, got)
+		}
+	}
+	for _, skip := range []string{"a/testdata/x", "b", "c/vendor/v", ".hidden", "_skipped"} {
+		if got[skip] {
+			t.Errorf("Expand should have skipped %q", skip)
+		}
+	}
+}
+
+func TestExpandNonRecursive(t *testing.T) {
+	root := mkTree(t)
+	target := filepath.Join(root, "a")
+	dirs, err := Expand([]string{target})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dirs) != 1 || dirs[0] != target {
+		t.Fatalf("Expand(%q) = %v, want just the directory itself", target, dirs)
+	}
+}
+
+func TestExpandDeduplicates(t *testing.T) {
+	root := mkTree(t)
+	target := filepath.Join(root, "a")
+	dirs, err := Expand([]string{target, target})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dirs) != 1 {
+		t.Fatalf("duplicate pattern produced %d dirs: %v", len(dirs), dirs)
+	}
+}

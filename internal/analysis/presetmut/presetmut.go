@@ -1,0 +1,308 @@
+// Package presetmut guards the machine-preset registry against aliasing
+// bugs.
+//
+// machine.Preset and machine.MustPreset return a *machine.Config. Such a
+// pointer is safe to specialize right after it is obtained — but the
+// moment it has been shared (passed to a function, stored into a struct,
+// map, slice, or variable, sent on a channel, or returned), a later field
+// write mutates state some other component may already hold, the classic
+// preset-aliasing bug. Within each function this analyzer tracks the
+// variables bound to Preset/MustPreset results in statement order and
+// flags writes that happen after the first sharing event; the fix is to
+// Clone() (or copy the Config value) before mutating, or to finish
+// mutating before sharing.
+//
+// Inside the machine package itself, writes through the registry map
+// (presets[name].Field = v, or a variable read from it) are flagged
+// unconditionally: registry pointers are born shared.
+package presetmut
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"hpcmetrics/internal/analysis/framework"
+)
+
+// Analyzer is the presetmut check.
+var Analyzer = &framework.Analyzer{
+	Name: "presetmut",
+	Doc: "flags field writes through a *machine.Config from Preset/MustPreset " +
+		"after the pointer has been shared, and any write through the preset registry",
+	Run: run,
+}
+
+// tracked is one variable holding a preset pointer inside one function.
+type tracked struct {
+	// bornShared marks registry reads, which are aliased from the start.
+	bornShared bool
+	// sharedAt is the position of the first sharing event, or NoPos.
+	sharedAt token.Pos
+	// writes are field-write positions, paired with a short description.
+	writes []write
+}
+
+type write struct {
+	pos  token.Pos
+	expr string
+}
+
+func run(pass *framework.Pass) error {
+	for _, f := range pass.Syntax {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, fd.Body)
+		}
+	}
+	return nil
+}
+
+func checkFunc(pass *framework.Pass, body *ast.BlockStmt) {
+	vars := map[types.Object]*tracked{}
+
+	// Pass 1: find the variables bound to Preset/MustPreset results or to
+	// registry reads.
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Rhs) != 1 {
+			return true
+		}
+		rhs := ast.Unparen(as.Rhs[0])
+		var bornShared bool
+		switch rhs := rhs.(type) {
+		case *ast.CallExpr:
+			if !isPresetCall(pass, rhs) {
+				return true
+			}
+		case *ast.IndexExpr:
+			if !isRegistryRead(pass, rhs) {
+				return true
+			}
+			bornShared = true
+		default:
+			return true
+		}
+		// The Config pointer is the first result (Preset also returns err).
+		if len(as.Lhs) == 0 {
+			return true
+		}
+		id, ok := as.Lhs[0].(*ast.Ident)
+		if !ok || id.Name == "_" {
+			return true
+		}
+		obj := pass.Info.ObjectOf(id)
+		if obj == nil {
+			return true
+		}
+		if tr, exists := vars[obj]; exists {
+			// Rebinding resets the variable's history only if it was not
+			// already shared; keep the stricter state.
+			tr.bornShared = tr.bornShared || bornShared
+		} else {
+			vars[obj] = &tracked{bornShared: bornShared, sharedAt: token.NoPos}
+		}
+		return true
+	})
+
+	// Direct registry writes (presets[name].Field = v) need no tracked
+	// variable: any selector in a write target whose base is a registry
+	// read is a shared-state mutation.
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for _, lhs := range as.Lhs {
+			ast.Inspect(lhs, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				if ie, ok := ast.Unparen(sel.X).(*ast.IndexExpr); ok && isRegistryRead(pass, ie) {
+					pass.Reportf(lhs.Pos(), "write through the preset registry mutates every future Preset result; Clone() the Config instead")
+					return false
+				}
+				return true
+			})
+		}
+		return true
+	})
+
+	if len(vars) == 0 {
+		return
+	}
+
+	// Pass 2: record sharing events and field writes per variable.
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			for _, arg := range n.Args {
+				if tr := lookup(pass, vars, arg); tr != nil {
+					share(tr, arg.Pos())
+				}
+			}
+		case *ast.AssignStmt:
+			for _, rhs := range n.Rhs {
+				if tr := lookup(pass, vars, rhs); tr != nil {
+					share(tr, rhs.Pos())
+				}
+			}
+			for _, lhs := range n.Lhs {
+				base, isField := writeBase(lhs)
+				if !isField {
+					continue
+				}
+				if tr := lookup(pass, vars, base); tr != nil {
+					tr.writes = append(tr.writes, write{pos: lhs.Pos(), expr: exprString(lhs)})
+				}
+			}
+		case *ast.IncDecStmt:
+			if base, isField := writeBase(n.X); isField {
+				if tr := lookup(pass, vars, base); tr != nil {
+					tr.writes = append(tr.writes, write{pos: n.X.Pos(), expr: exprString(n.X)})
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, res := range n.Results {
+				if tr := lookup(pass, vars, res); tr != nil {
+					share(tr, res.Pos())
+				}
+			}
+		case *ast.SendStmt:
+			if tr := lookup(pass, vars, n.Value); tr != nil {
+				share(tr, n.Value.Pos())
+			}
+		case *ast.CompositeLit:
+			for _, elt := range n.Elts {
+				if kv, ok := elt.(*ast.KeyValueExpr); ok {
+					elt = kv.Value
+				}
+				if tr := lookup(pass, vars, elt); tr != nil {
+					share(tr, elt.Pos())
+				}
+			}
+		}
+		return true
+	})
+
+	// Report writes that land after the variable became shared (the
+	// framework orders diagnostics by position).
+	for _, tr := range vars {
+		for _, w := range tr.writes {
+			switch {
+			case tr.bornShared:
+				pass.Reportf(w.pos, "%s writes through a registry-shared preset Config; Clone() it first", w.expr)
+			case tr.sharedAt.IsValid() && w.pos > tr.sharedAt:
+				pass.Reportf(w.pos, "%s writes a preset Config after it was shared; Clone() before mutating (or mutate before sharing)", w.expr)
+			}
+		}
+	}
+}
+
+func share(tr *tracked, pos token.Pos) {
+	if !tr.sharedAt.IsValid() || pos < tr.sharedAt {
+		tr.sharedAt = pos
+	}
+}
+
+// lookup resolves a bare identifier expression to its tracked entry.
+func lookup(pass *framework.Pass, vars map[types.Object]*tracked, e ast.Expr) *tracked {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	obj := pass.Info.ObjectOf(id)
+	if obj == nil {
+		return nil
+	}
+	return vars[obj]
+}
+
+// writeBase unwraps an assignment target like cfg.Net.LatencyUs or
+// cfg.Caches[0].SizeBytes down to its base expression, reporting whether
+// the target is a field (or element) of that base rather than the base
+// itself.
+func writeBase(lhs ast.Expr) (base ast.Expr, isField bool) {
+	for {
+		switch e := lhs.(type) {
+		case *ast.SelectorExpr:
+			lhs, isField = e.X, true
+		case *ast.IndexExpr:
+			// Stop if the index base is itself the registry map read; the
+			// caller inspects that case. Otherwise keep unwrapping.
+			lhs, isField = e.X, true
+		case *ast.ParenExpr:
+			lhs = e.X
+		case *ast.StarExpr:
+			lhs, isField = e.X, true
+		default:
+			return lhs, isField
+		}
+	}
+}
+
+// isPresetCall recognizes Preset / MustPreset calls from a package named
+// machine.
+func isPresetCall(pass *framework.Pass, call *ast.CallExpr) bool {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return false
+	}
+	fn, ok := pass.Info.Uses[id].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Name() != "machine" {
+		return false
+	}
+	return fn.Name() == "Preset" || fn.Name() == "MustPreset"
+}
+
+// isRegistryRead recognizes presets[name]-style reads: an index into a
+// package-level map[...]*Config variable of a package named machine.
+func isRegistryRead(pass *framework.Pass, idx *ast.IndexExpr) bool {
+	id, ok := ast.Unparen(idx.X).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	v, ok := pass.Info.ObjectOf(id).(*types.Var)
+	if !ok || v.Pkg() == nil || v.Pkg().Name() != "machine" {
+		return false
+	}
+	if v.Parent() != v.Pkg().Scope() {
+		return false
+	}
+	mt, ok := v.Type().Underlying().(*types.Map)
+	if !ok {
+		return false
+	}
+	pt, ok := mt.Elem().(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := pt.Elem().(*types.Named)
+	return ok && named.Obj().Name() == "Config"
+}
+
+// exprString renders a write target for the diagnostic message.
+func exprString(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprString(e.X) + "." + e.Sel.Name
+	case *ast.IndexExpr:
+		return exprString(e.X) + "[...]"
+	case *ast.StarExpr:
+		return "*" + exprString(e.X)
+	case *ast.ParenExpr:
+		return exprString(e.X)
+	}
+	return "expression"
+}

@@ -1,0 +1,12 @@
+package presetmut_test
+
+import (
+	"testing"
+
+	"hpcmetrics/internal/analysis/analysistest"
+	"hpcmetrics/internal/analysis/presetmut"
+)
+
+func TestPresetmut(t *testing.T) {
+	analysistest.Run(t, "testdata", presetmut.Analyzer, "a", "machine")
+}

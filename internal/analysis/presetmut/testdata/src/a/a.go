@@ -1,0 +1,57 @@
+package a
+
+import "machine"
+
+func use(*machine.Config) {}
+
+func badWriteAfterShare() {
+	cfg := machine.MustPreset("x")
+	cfg.ClockGHz = 2 // still private: allowed
+	use(cfg)
+	cfg.ClockGHz = 3 // want `after it was shared`
+}
+
+func badNestedWrite() {
+	cfg, err := machine.Preset("x")
+	if err != nil {
+		return
+	}
+	use(cfg)
+	cfg.Net.LatencyUs = 9 // want `after it was shared`
+}
+
+func badStoreThenWrite(hold map[string]*machine.Config) {
+	cfg := machine.MustPreset("x")
+	hold["mine"] = cfg
+	cfg.ClockGHz = 5 // want `after it was shared`
+}
+
+func badReturnAlias(fast bool) *machine.Config {
+	cfg := machine.MustPreset("x")
+	if fast {
+		return cfg // the caller may now hold the pointer
+	}
+	cfg.ClockGHz = 6 // want `after it was shared`
+	return cfg
+}
+
+func okMutateThenShare() {
+	cfg := machine.MustPreset("x")
+	cfg.ClockGHz = 7 // specialize before sharing: allowed
+	cfg.Net.LatencyUs = 1
+	use(cfg)
+}
+
+func okCloneAfterShare() {
+	cfg := machine.MustPreset("x")
+	use(cfg)
+	mine := cfg.Clone()
+	mine.ClockGHz = 8 // fresh clone: allowed
+}
+
+func okValueCopy() {
+	cfg := machine.MustPreset("x")
+	use(cfg)
+	cp := *cfg
+	cp.ClockGHz = 9 // value copy: allowed
+}

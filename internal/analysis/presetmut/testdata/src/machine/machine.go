@@ -1,0 +1,40 @@
+// Package machine is a miniature of the real preset registry, enough for
+// the presetmut fixtures to type-check against.
+package machine
+
+type Network struct{ LatencyUs float64 }
+
+type Config struct {
+	Name     string
+	ClockGHz float64
+	Net      Network
+	Caches   []struct{ SizeBytes int64 }
+}
+
+func (c *Config) Clone() *Config {
+	out := *c
+	return &out
+}
+
+var presets = map[string]*Config{
+	"x": {Name: "x", ClockGHz: 1},
+}
+
+func Preset(name string) (*Config, error) { return presets[name].Clone(), nil }
+
+func MustPreset(name string) *Config { return presets[name].Clone() }
+
+func tweakRegistry() {
+	presets["x"].ClockGHz = 2 // want `write through the preset registry`
+}
+
+func readRegistryThenWrite() {
+	shared := presets["x"]
+	shared.ClockGHz = 3 // want `registry-shared preset Config`
+}
+
+func okRegistryClone() *Config {
+	c := presets["x"].Clone()
+	c.ClockGHz = 4 // fresh clone: allowed
+	return c
+}

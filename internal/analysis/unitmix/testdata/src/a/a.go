@@ -1,0 +1,38 @@
+package a
+
+type probe struct {
+	StreamBytesPerSec float64
+	HPLFlopsPerSec    float64
+	LatencySeconds    float64
+	MemLatencyNs      float64
+	MemBandwidthGBs   float64
+	PeakFlops         float64
+}
+
+func badAdd(p probe) float64 {
+	return p.StreamBytesPerSec + p.HPLFlopsPerSec // want `mixes units`
+}
+
+func badScale(p probe) float64 {
+	return p.LatencySeconds - p.MemLatencyNs // want `mixes units`
+}
+
+func badCmp(p probe) bool {
+	return p.StreamBytesPerSec > p.MemBandwidthGBs // want `mixes units`
+}
+
+func okSameUnit(a, b probe) float64 {
+	return a.StreamBytesPerSec + b.StreamBytesPerSec // same unit: allowed
+}
+
+func okConvert(p probe, elapsedSeconds float64) float64 {
+	return p.StreamBytesPerSec * elapsedSeconds // multiply converts: allowed
+}
+
+func okDivide(p probe) float64 {
+	return p.PeakFlops / p.LatencySeconds // divide converts: allowed
+}
+
+func okUnsuffixed(p probe, x float64) float64 {
+	return p.HPLFlopsPerSec + x // bare operand carries no unit: allowed
+}

@@ -1,0 +1,131 @@
+// Package unitmix flags additive arithmetic and comparisons that mix
+// identifiers carrying conflicting unit suffixes.
+//
+// The codebase's convention is that a float64's unit lives in its name:
+// StreamBytesPerSec, HPLFlopsPerSec, LatencySeconds, MemLatencyNs, and so
+// on. The compiler sees only float64, so nothing stops the convolver's
+// transfer function from adding a bandwidth to a latency — the bug class
+// at the heart of the paper's Equation 1 machinery. This analyzer checks
+// +, -, and ordering/equality between two operands whose names both carry
+// a recognized unit suffix: conflicting units (including same-dimension
+// scale conflicts such as Seconds vs Ns) are reported. Multiplication and
+// division are exempt, since they are how units legitimately convert.
+package unitmix
+
+import (
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+
+	"hpcmetrics/internal/analysis/framework"
+)
+
+// Analyzer is the unitmix check.
+var Analyzer = &framework.Analyzer{
+	Name: "unitmix",
+	Doc: "flags +, -, and comparisons mixing identifiers with conflicting unit " +
+		"suffixes (BytesPerSec vs FlopsPerSec vs Seconds vs Ns ...)",
+	Run: run,
+}
+
+// suffixUnits maps name suffixes to the unit they declare. Longer suffixes
+// are matched first, so HPLFlopsPerSec is flops/sec, not flops.
+var suffixUnits = map[string]string{
+	"BytesPerSec":   "bytes/sec",
+	"FlopsPerSec":   "flops/sec",
+	"RefsPerSec":    "refs/sec",
+	"BytesPerCycle": "bytes/cycle",
+	"GBs":           "gigabytes/sec",
+	"MBs":           "megabytes/sec",
+	"GHz":           "gigahertz",
+	"Seconds":       "seconds",
+	"Secs":          "seconds",
+	"Ns":            "nanoseconds",
+	"Us":            "microseconds",
+	"Cycles":        "cycles",
+	"Bytes":         "bytes",
+	"Flops":         "flops",
+	"Ratio":         "ratio",
+	"Fraction":      "ratio",
+	"Frac":          "ratio",
+}
+
+// suffixesByLength holds the suffixes longest-first.
+var suffixesByLength = func() []string {
+	out := make([]string, 0, len(suffixUnits))
+	for s := range suffixUnits {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if len(out[i]) != len(out[j]) {
+			return len(out[i]) > len(out[j])
+		}
+		return out[i] < out[j]
+	})
+	return out
+}()
+
+func run(pass *framework.Pass) error {
+	for _, f := range pass.Syntax {
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok {
+				return true
+			}
+			switch be.Op {
+			case token.ADD, token.SUB, token.LSS, token.LEQ, token.GTR, token.GEQ, token.EQL, token.NEQ:
+			default:
+				return true
+			}
+			nameX, unitX := unitOf(be.X)
+			nameY, unitY := unitOf(be.Y)
+			if unitX == "" || unitY == "" || unitX == unitY {
+				return true
+			}
+			pass.Reportf(be.OpPos, "%s mixes units: %s is %s but %s is %s",
+				be.Op, nameX, unitX, nameY, unitY)
+			return true
+		})
+	}
+	return nil
+}
+
+// unitOf extracts the governing identifier of an expression and the unit
+// its suffix declares, if any.
+func unitOf(e ast.Expr) (name, unit string) {
+	name = nameOf(e)
+	if name == "" {
+		return "", ""
+	}
+	for _, suf := range suffixesByLength {
+		// Case-sensitive suffix match; camel-case makes this a word
+		// boundary in practice (acronym prefixes like HPLFlopsPerSec
+		// included).
+		if strings.HasSuffix(name, suf) {
+			return name, suffixUnits[suf]
+		}
+	}
+	return name, ""
+}
+
+// nameOf finds the identifier that names an operand: the identifier
+// itself, a selector's field, an index expression's base, or a call's
+// function name (for accessor methods like PeakFlops()).
+func nameOf(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return e.Sel.Name
+	case *ast.ParenExpr:
+		return nameOf(e.X)
+	case *ast.UnaryExpr:
+		return nameOf(e.X)
+	case *ast.IndexExpr:
+		return nameOf(e.X)
+	case *ast.CallExpr:
+		return nameOf(e.Fun)
+	}
+	return ""
+}

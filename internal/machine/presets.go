@@ -329,6 +329,10 @@ func Preset(name string) (*Config, error) {
 }
 
 // MustPreset is Preset for static names; it panics on unknown names.
+// The panic is by documented design (and deliberately kept by the PR-1
+// panic audit): callers pass the package's own exported name constants,
+// so an unknown name is a compile-time-adjacent mistake, and the
+// error-returning path for dynamic names is Preset.
 func MustPreset(name string) *Config {
 	cfg, err := Preset(name)
 	if err != nil {

@@ -42,6 +42,9 @@ func ranks(xs []float64) []float64 {
 	out := make([]float64, n)
 	for i := 0; i < n; {
 		j := i
+		// Midranking needs exact equality: a tie is "the sort could not
+		// separate them", not "they are within an epsilon".
+		//hpclint:ignore floatcmp rank ties are defined by exact equality
 		for j+1 < n && xs[idx[j+1]] == xs[idx[i]] {
 			j++
 		}

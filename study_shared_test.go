@@ -1,0 +1,72 @@
+package hpcmetrics_test
+
+import (
+	"flag"
+	"os"
+	"sync"
+	"testing"
+
+	"hpcmetrics"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files from the current study output")
+
+// TestSharedStudyConcurrent locks in the sync.Once contract of
+// study.Shared: any number of concurrent callers get the same *Results
+// (and the study runs once). Run under -race this also checks that the
+// study's internals do not data-race with themselves through the shared
+// cache.
+func TestSharedStudyConcurrent(t *testing.T) {
+	const callers = 8
+	var (
+		wg      sync.WaitGroup
+		results [callers]*hpcmetrics.StudyResults
+		errs    [callers]error
+	)
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = hpcmetrics.SharedStudy()
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < callers; i++ {
+		if errs[i] != nil {
+			t.Fatalf("caller %d: %v", i, errs[i])
+		}
+		if results[i] == nil {
+			t.Fatalf("caller %d: nil results", i)
+		}
+		if results[i] != results[0] {
+			t.Errorf("caller %d received a different *Results than caller 0; Shared must cache one instance", i)
+		}
+	}
+	if n := results[0].ObservationCount(); n == 0 {
+		t.Error("shared study produced no observations")
+	}
+}
+
+// TestTable4CSVGolden pins the paper's headline error table: a refactor of
+// the report, study, or simulation layers that silently changes these
+// numbers fails here. Regenerate deliberately with: go test -run Golden -update .
+func TestTable4CSVGolden(t *testing.T) {
+	res, err := hpcmetrics.SharedStudy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := hpcmetrics.Table4(res).CSV()
+	const path = "testdata/table4.golden.csv"
+	if *updateGolden {
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != string(want) {
+		t.Errorf("Table4 CSV drifted from golden (rerun with -update only if the change is intended)\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
