@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race lint bench fmt
+.PHONY: build test race race-full lint bench bench-study fmt
 
 build:
 	$(GO) build ./...
@@ -11,11 +11,18 @@ build:
 test:
 	$(GO) test ./...
 
-# race includes the concurrent SharedStudy test; expect tens of minutes,
-# dominated by the full study under the race detector (the -timeout
-# raises go test's 10m per-package default, which the instrumented study
-# exceeds on small machines).
+# race runs the -short suite under the race detector: the 2-machine x
+# 2-application study slice plus every unit test, which exercises the
+# worker pool, cancellation, and the shared-cache paths in minutes, not
+# tens of minutes. race-full is the exhaustive variant.
 race:
+	$(GO) test -race -short ./...
+
+# race-full includes the concurrent SharedStudy test; expect tens of
+# minutes, dominated by the full study under the race detector (the
+# -timeout raises go test's 10m per-package default, which the
+# instrumented study exceeds on small machines).
+race-full:
 	$(GO) test -race -timeout 40m ./...
 
 # lint = go vet + the repo's own analyzer suite (cmd/hpclint).
@@ -25,6 +32,11 @@ lint:
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ ./...
+
+# bench-study times sequential vs parallel study.Run on the -short slice
+# and writes BENCH_study.json (the CI benchmark smoke artifact).
+bench-study:
+	$(GO) run ./cmd/benchstudy -out BENCH_study.json
 
 fmt:
 	gofmt -w .

@@ -1,0 +1,79 @@
+// Command benchstudy times the study harness sequentially (Workers=1)
+// against the context-aware worker pool (Workers=GOMAXPROCS) on a small
+// machine x application slice and emits the comparison as JSON, for the
+// CI benchmark smoke job. The slice mirrors the -short test slice so the
+// number is comparable across runs; it is a smoke signal, not a rigorous
+// benchmark.
+//
+// Usage:
+//
+//	benchstudy [-out BENCH_study.json]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"runtime"
+	"time"
+
+	"hpcmetrics/internal/study"
+)
+
+type report struct {
+	GOMAXPROCS        int      `json:"gomaxprocs"`
+	Apps              []string `json:"apps"`
+	Targets           []string `json:"targets"`
+	SequentialSeconds float64  `json:"sequential_seconds"`
+	ParallelSeconds   float64  `json:"parallel_seconds"`
+	Speedup           float64  `json:"speedup"`
+}
+
+func main() {
+	out := flag.String("out", "BENCH_study.json", "path for the JSON timing report")
+	flag.Parse()
+
+	opts := study.Options{
+		Apps:    []string{"avus-standard", "rfcth-standard"},
+		Targets: []string{"ARL_Opteron", "MHPCC_P3"},
+	}
+
+	seq, err := timeRun(opts, 1)
+	if err != nil {
+		log.Fatalf("benchstudy: sequential run: %v", err)
+	}
+	par, err := timeRun(opts, runtime.GOMAXPROCS(0))
+	if err != nil {
+		log.Fatalf("benchstudy: parallel run: %v", err)
+	}
+
+	r := report{
+		GOMAXPROCS:        runtime.GOMAXPROCS(0),
+		Apps:              opts.Apps,
+		Targets:           opts.Targets,
+		SequentialSeconds: seq.Seconds(),
+		ParallelSeconds:   par.Seconds(),
+		Speedup:           seq.Seconds() / par.Seconds(),
+	}
+	buf, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		log.Fatalf("benchstudy: %v", err)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		log.Fatalf("benchstudy: %v", err)
+	}
+	fmt.Printf("sequential %.1fs, parallel %.1fs (x%.2f on GOMAXPROCS=%d); wrote %s\n",
+		r.SequentialSeconds, r.ParallelSeconds, r.Speedup, r.GOMAXPROCS, *out)
+}
+
+func timeRun(opts study.Options, workers int) (time.Duration, error) {
+	opts.Workers = workers
+	start := time.Now()
+	if _, err := study.Run(opts); err != nil {
+		return 0, err
+	}
+	return time.Since(start), nil
+}

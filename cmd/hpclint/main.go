@@ -2,20 +2,25 @@
 // internal/analysis) over package patterns and exits non-zero if any
 // diagnostic survives. It is the CI gate for the study's correctness
 // invariants: float comparison discipline, unit-suffix hygiene,
-// simulation determinism, error flow, and preset aliasing.
+// simulation determinism, error flow, preset aliasing, and the
+// concurrency rules of the parallel study harness (ctxflow, lockguard,
+// waitleak).
 //
 // Usage:
 //
-//	hpclint [-list] [packages]
+//	hpclint [-list] [-json] [packages]
 //
 // Patterns are directories, optionally ending in /... for recursion; the
-// default is ./... . Suppress a finding with a line or preceding-line
-// comment:
+// default is ./... . With -json each diagnostic is emitted as one JSON
+// object per line ({"file","line","col","analyzer","message"}) so CI can
+// annotate pull requests; the plain-text format is unchanged by default.
+// Suppress a finding with a line or preceding-line comment:
 //
 //	//hpclint:ignore floatcmp rank ties need exact equality
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -27,6 +32,7 @@ import (
 
 func main() {
 	list := flag.Bool("list", false, "list the analyzers and exit")
+	jsonOut := flag.Bool("json", false, "emit one JSON object per diagnostic line")
 	flag.Parse()
 
 	analyzers := analysis.All()
@@ -46,13 +52,46 @@ func main() {
 		fmt.Fprintf(os.Stderr, "hpclint: %v\n", err)
 		os.Exit(2)
 	}
-	for _, d := range diags {
-		fmt.Println(d)
+	if *jsonOut {
+		if err := writeJSON(os.Stdout, diags); err != nil {
+			fmt.Fprintf(os.Stderr, "hpclint: %v\n", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "hpclint: %d finding(s)\n", len(diags))
 		os.Exit(1)
 	}
+}
+
+// jsonDiag is the -json wire format: one object per line.
+type jsonDiag struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+func writeJSON(w *os.File, diags []framework.Diagnostic) error {
+	enc := json.NewEncoder(w)
+	for _, d := range diags {
+		err := enc.Encode(jsonDiag{
+			File:     d.Pos.Filename,
+			Line:     d.Pos.Line,
+			Col:      d.Pos.Column,
+			Analyzer: d.Analyzer,
+			Message:  d.Message,
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 func run(patterns []string, analyzers []*framework.Analyzer) ([]framework.Diagnostic, error) {

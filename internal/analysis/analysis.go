@@ -6,8 +6,14 @@
 //	unitmix    no additive mixing of conflicting unit suffixes
 //	detrand    no wall clock, global rand, or map-ordered output in
 //	           the simulation packages
-//	errflow    no discarded errors in internal packages
+//	errflow    no discarded errors in internal packages or command mains
 //	presetmut  no mutation of shared machine preset Configs
+//	ctxflow    goroutines and unbounded loops in the parallel study
+//	           harness accept and consult a context.Context
+//	lockguard  fields annotated `// guarded by <mu>` are only accessed
+//	           with that mutex held
+//	waitleak   no WaitGroup arity mismatches, stuck goroutine sends, or
+//	           defer-less locks escaping through early returns
 //
 // The suite is run by cmd/hpclint and gated in CI; individual findings
 // can be suppressed with a //hpclint:ignore directive (see the framework
@@ -15,12 +21,15 @@
 package analysis
 
 import (
+	"hpcmetrics/internal/analysis/ctxflow"
 	"hpcmetrics/internal/analysis/detrand"
 	"hpcmetrics/internal/analysis/errflow"
 	"hpcmetrics/internal/analysis/floatcmp"
 	"hpcmetrics/internal/analysis/framework"
+	"hpcmetrics/internal/analysis/lockguard"
 	"hpcmetrics/internal/analysis/presetmut"
 	"hpcmetrics/internal/analysis/unitmix"
+	"hpcmetrics/internal/analysis/waitleak"
 )
 
 // All returns the full analyzer suite in stable order.
@@ -31,5 +40,8 @@ func All() []*framework.Analyzer {
 		detrand.Analyzer,
 		errflow.Analyzer,
 		presetmut.Analyzer,
+		ctxflow.Analyzer,
+		lockguard.Analyzer,
+		waitleak.Analyzer,
 	}
 }

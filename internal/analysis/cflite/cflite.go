@@ -1,0 +1,313 @@
+// Package cflite is the CFG-lite walker shared by the concurrency
+// analyzers (ctxflow, lockguard, waitleak). It deliberately stops short
+// of a real control-flow graph: Go's structured statements are walked in
+// source order, branch states merge by intersection, and function
+// literals start fresh frames. That is enough to answer the questions the
+// analyzers ask — "which mutexes are held at this access?", "can this
+// function return while plainly holding a lock?", "is this loop
+// structurally bounded?" — without the x/tools dependency the repository
+// forgoes.
+package cflite
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Path renders a chain of identifiers and field selections ("s", "s.mu",
+// "a.b.mu") as a canonical string, or "" if the expression is anything
+// else (a call result, an index, ...). Two occurrences of the same path
+// within one function denote the same storage for the walker's purposes.
+func Path(e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		base := Path(e.X)
+		if base == "" {
+			return ""
+		}
+		return base + "." + e.Sel.Name
+	}
+	return ""
+}
+
+// IsContext reports whether t is context.Context.
+func IsContext(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Pkg() != nil &&
+		obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// CtxParams returns the names of ft's parameters typed context.Context.
+func CtxParams(info *types.Info, ft *ast.FuncType) []string {
+	var names []string
+	if ft == nil || ft.Params == nil {
+		return nil
+	}
+	for _, field := range ft.Params.List {
+		if !IsContext(info.TypeOf(field.Type)) {
+			continue
+		}
+		for _, name := range field.Names {
+			names = append(names, name.Name)
+		}
+	}
+	return names
+}
+
+// Unbounded reports whether the loop has no structural bound: an infinite
+// `for {}` or a while-style `for cond {}`. Three-clause and range loops
+// count as bounded — the harness's loops over fixed slices terminate by
+// construction, while a while-loop's exit depends on runtime state and so
+// needs a cancellation point.
+func Unbounded(fs *ast.ForStmt) bool {
+	return fs.Cond == nil || (fs.Init == nil && fs.Post == nil)
+}
+
+// LockSite records where a mutex was taken and whether its release is
+// already deferred.
+type LockSite struct {
+	Pos      token.Pos
+	Deferred bool
+}
+
+// LockWalker walks one function body in structured source order, tracking
+// the set of mutex paths currently held. Lock state changes are
+// recognized on statement-level calls: `p.Lock()` / `p.RLock()` acquire
+// path p, `p.Unlock()` / `p.RUnlock()` release it, and `defer p.Unlock()`
+// marks p's release as covered on every return. Branches (if, for, range,
+// switch, select) merge by intersection: a mutex counts as held after a
+// branch only if every arm holds it. Function literals are fresh frames —
+// their bodies run under their own (initially empty) lock set, since the
+// spawner's locks do not protect code that executes later.
+type LockWalker struct {
+	// OnNode, when non-nil, is called in evaluation order for the nodes of
+	// every visited expression, with the mutexes held at that point. The
+	// map is shared and mutated across calls; do not retain it.
+	OnNode func(n ast.Node, held map[string]LockSite)
+	// OnReturn, when non-nil, is called at every return statement with the
+	// mutexes then held whose release is not deferred (the early-return
+	// leak set). The map is freshly built per call.
+	OnReturn func(ret *ast.ReturnStmt, plain map[string]LockSite)
+}
+
+// Walk traverses body from an empty lock set.
+func (w *LockWalker) Walk(body *ast.BlockStmt) {
+	w.block(body, map[string]LockSite{})
+}
+
+func (w *LockWalker) block(b *ast.BlockStmt, held map[string]LockSite) map[string]LockSite {
+	for _, s := range b.List {
+		held = w.stmt(s, held)
+	}
+	return held
+}
+
+func (w *LockWalker) stmt(s ast.Stmt, held map[string]LockSite) map[string]LockSite {
+	switch s := s.(type) {
+	case nil:
+		return held
+	case *ast.ExprStmt:
+		if call, ok := ast.Unparen(s.X).(*ast.CallExpr); ok {
+			if path, op := lockOp(call); path != "" {
+				w.visit(call, held)
+				held = clone(held)
+				if op == opLock {
+					held[path] = LockSite{Pos: call.Pos()}
+				} else {
+					delete(held, path)
+				}
+				return held
+			}
+		}
+		w.visit(s, held)
+		return held
+	case *ast.DeferStmt:
+		if path, op := lockOp(s.Call); path != "" && op == opUnlock {
+			if site, ok := held[path]; ok && !site.Deferred {
+				held = clone(held)
+				site.Deferred = true
+				held[path] = site
+			}
+			return held
+		}
+		w.visit(s, held)
+		return held
+	case *ast.ReturnStmt:
+		w.visit(s, held)
+		if w.OnReturn != nil {
+			plain := map[string]LockSite{}
+			for p, site := range held {
+				if !site.Deferred {
+					plain[p] = site
+				}
+			}
+			w.OnReturn(s, plain)
+		}
+		return held
+	case *ast.BlockStmt:
+		return w.block(s, clone(held))
+	case *ast.LabeledStmt:
+		return w.stmt(s.Stmt, held)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			held = w.stmt(s.Init, held)
+		}
+		w.visit(s.Cond, held)
+		thenAfter := w.block(s.Body, clone(held))
+		elseAfter := held
+		if s.Else != nil {
+			elseAfter = w.stmt(s.Else, clone(held))
+		}
+		return intersect(thenAfter, elseAfter)
+	case *ast.ForStmt:
+		if s.Init != nil {
+			held = w.stmt(s.Init, held)
+		}
+		if s.Cond != nil {
+			w.visit(s.Cond, held)
+		}
+		bodyAfter := w.block(s.Body, clone(held))
+		if s.Post != nil {
+			bodyAfter = w.stmt(s.Post, bodyAfter)
+		}
+		return intersect(held, bodyAfter) // the body may run zero times
+	case *ast.RangeStmt:
+		w.visit(s.X, held)
+		bodyAfter := w.block(s.Body, clone(held))
+		return intersect(held, bodyAfter)
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			held = w.stmt(s.Init, held)
+		}
+		if s.Tag != nil {
+			w.visit(s.Tag, held)
+		}
+		return w.clauses(s.Body, held)
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			held = w.stmt(s.Init, held)
+		}
+		w.visit(s.Assign, held)
+		return w.clauses(s.Body, held)
+	case *ast.SelectStmt:
+		return w.clauses(s.Body, held)
+	case *ast.GoStmt:
+		// The spawned body runs later, under no inherited locks; visit
+		// handles the literal as a fresh frame. Arguments evaluate now.
+		w.visit(s.Call, held)
+		return held
+	default:
+		w.visit(s, held)
+		return held
+	}
+}
+
+// clauses walks the case/comm clauses of a switch or select body and
+// merges the after-states of all arms with the fallthrough state (the
+// switch may match nothing).
+func (w *LockWalker) clauses(body *ast.BlockStmt, held map[string]LockSite) map[string]LockSite {
+	out := held
+	for _, c := range body.List {
+		var stmts []ast.Stmt
+		switch c := c.(type) {
+		case *ast.CaseClause:
+			for _, e := range c.List {
+				w.visit(e, held)
+			}
+			stmts = c.Body
+		case *ast.CommClause:
+			if c.Comm != nil {
+				w.stmt(c.Comm, clone(held))
+			}
+			stmts = c.Body
+		}
+		arm := clone(held)
+		for _, s := range stmts {
+			arm = w.stmt(s, arm)
+		}
+		out = intersect(out, arm)
+	}
+	return out
+}
+
+// visit reports every node of n through OnNode, entering function
+// literals as fresh frames (their own empty lock set, their own returns).
+func (w *LockWalker) visit(n ast.Node, held map[string]LockSite) {
+	if n == nil {
+		return
+	}
+	ast.Inspect(n, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			w.block(lit.Body, map[string]LockSite{})
+			return false
+		}
+		if n != nil && w.OnNode != nil {
+			w.OnNode(n, held)
+		}
+		return true
+	})
+}
+
+type mutexOp int
+
+const (
+	opNone mutexOp = iota
+	opLock
+	opUnlock
+)
+
+// lockOp recognizes statement-level mutex manipulation: a call of
+// Lock/RLock/Unlock/RUnlock on a path expression. The check is syntactic
+// — anything exposing that method set is treated as a lock, which is what
+// holding it means for the guarded code.
+func lockOp(call *ast.CallExpr) (string, mutexOp) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || len(call.Args) != 0 {
+		return "", opNone
+	}
+	var op mutexOp
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		op = opLock
+	case "Unlock", "RUnlock":
+		op = opUnlock
+	default:
+		return "", opNone
+	}
+	path := Path(sel.X)
+	if path == "" {
+		return "", opNone
+	}
+	return path, op
+}
+
+func clone(m map[string]LockSite) map[string]LockSite {
+	out := make(map[string]LockSite, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// intersect keeps the mutexes held in both states; a release deferred on
+// only one arm stays plain, so early-return leak detection remains sound.
+func intersect(a, b map[string]LockSite) map[string]LockSite {
+	out := make(map[string]LockSite, len(a))
+	for k, sa := range a {
+		if sb, ok := b[k]; ok {
+			sa.Deferred = sa.Deferred && sb.Deferred
+			out[k] = sa
+		}
+	}
+	return out
+}

@@ -1,0 +1,261 @@
+package cflite
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"reflect"
+	"sort"
+	"testing"
+)
+
+func parseFunc(t *testing.T, body string) (*token.FileSet, *ast.FuncDecl) {
+	t.Helper()
+	fset := token.NewFileSet()
+	src := "package p\n\nfunc f() {\n" + body + "\n}\n"
+	file, err := parser.ParseFile(fset, "f.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return fset, file.Decls[0].(*ast.FuncDecl)
+}
+
+func TestPath(t *testing.T) {
+	fset, fn := parseFunc(t, "use(s.mu, a.b.c, (x), f(), m[0].y)")
+	_ = fset
+	call := fn.Body.List[0].(*ast.ExprStmt).X.(*ast.CallExpr)
+	want := []string{"s.mu", "a.b.c", "x", "", ""}
+	for i, arg := range call.Args {
+		if got := Path(arg); got != want[i] {
+			t.Errorf("Path(arg %d) = %q, want %q", i, got, want[i])
+		}
+	}
+}
+
+func TestUnbounded(t *testing.T) {
+	_, fn := parseFunc(t, `
+	for {
+	}
+	for x < 3 {
+	}
+	for i := 0; i < 3; i++ {
+	}
+	for ; x < 3; x++ {
+	}
+`)
+	want := []bool{true, true, false, false}
+	for i, s := range fn.Body.List {
+		fs := s.(*ast.ForStmt)
+		if got := Unbounded(fs); got != want[i] {
+			t.Errorf("loop %d: Unbounded = %v, want %v", i, got, want[i])
+		}
+	}
+}
+
+// heldAt runs the walker and records, for each marker call markN(), the
+// sorted set of held mutex paths at that point.
+func heldAt(t *testing.T, body string) map[string][]string {
+	t.Helper()
+	_, fn := parseFunc(t, body)
+	out := map[string][]string{}
+	w := &LockWalker{
+		OnNode: func(n ast.Node, held map[string]LockSite) {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return
+			}
+			id, ok := call.Fun.(*ast.Ident)
+			if !ok || len(id.Name) < 4 || id.Name[:4] != "mark" {
+				return
+			}
+			var paths []string
+			for p := range held {
+				paths = append(paths, p)
+			}
+			sort.Strings(paths)
+			out[id.Name] = paths
+		},
+	}
+	w.Walk(fn.Body)
+	return out
+}
+
+func TestLockWalkerStraightLine(t *testing.T) {
+	got := heldAt(t, `
+	mark1()
+	mu.Lock()
+	mark2()
+	mu.Unlock()
+	mark3()
+`)
+	want := map[string][]string{"mark1": nil, "mark2": {"mu"}, "mark3": nil}
+	for k, w := range want {
+		if g := got[k]; !sameStrings(g, w) {
+			t.Errorf("%s: held %v, want %v", k, g, w)
+		}
+	}
+}
+
+func TestLockWalkerSelectorAndRLock(t *testing.T) {
+	got := heldAt(t, `
+	s.mu.RLock()
+	mark1()
+	s.mu.RUnlock()
+	mark2()
+`)
+	if !sameStrings(got["mark1"], []string{"s.mu"}) {
+		t.Errorf("mark1: held %v, want [s.mu]", got["mark1"])
+	}
+	if len(got["mark2"]) != 0 {
+		t.Errorf("mark2: held %v, want none", got["mark2"])
+	}
+}
+
+func TestLockWalkerBranchIntersection(t *testing.T) {
+	got := heldAt(t, `
+	if cond {
+		mu.Lock()
+		mark1()
+	}
+	mark2()
+	if cond {
+		mu.Unlock()
+	}
+`)
+	if !sameStrings(got["mark1"], []string{"mu"}) {
+		t.Errorf("mark1 (inside locking arm): held %v, want [mu]", got["mark1"])
+	}
+	// After the if, only one arm locked: not held.
+	if len(got["mark2"]) != 0 {
+		t.Errorf("mark2 (after one-armed lock): held %v, want none", got["mark2"])
+	}
+}
+
+func TestLockWalkerBothArmsLock(t *testing.T) {
+	got := heldAt(t, `
+	if cond {
+		mu.Lock()
+	} else {
+		mu.Lock()
+	}
+	mark1()
+	mu.Unlock()
+`)
+	if !sameStrings(got["mark1"], []string{"mu"}) {
+		t.Errorf("mark1 (both arms lock): held %v, want [mu]", got["mark1"])
+	}
+}
+
+func TestLockWalkerLoopMayNotRun(t *testing.T) {
+	got := heldAt(t, `
+	for i := 0; i < n; i++ {
+		mu.Lock()
+		mark1()
+		mu.Unlock()
+	}
+	mark2()
+`)
+	if !sameStrings(got["mark1"], []string{"mu"}) {
+		t.Errorf("mark1: held %v, want [mu]", got["mark1"])
+	}
+	if len(got["mark2"]) != 0 {
+		t.Errorf("mark2: held %v, want none", got["mark2"])
+	}
+}
+
+func TestLockWalkerFuncLitFreshFrame(t *testing.T) {
+	got := heldAt(t, `
+	mu.Lock()
+	f := func() {
+		mark1()
+	}
+	mark2()
+	mu.Unlock()
+	f()
+`)
+	// The literal may execute after Unlock: its frame starts empty.
+	if len(got["mark1"]) != 0 {
+		t.Errorf("mark1 (inside literal): held %v, want none", got["mark1"])
+	}
+	if !sameStrings(got["mark2"], []string{"mu"}) {
+		t.Errorf("mark2: held %v, want [mu]", got["mark2"])
+	}
+}
+
+// plainReturns runs the walker and returns, per return statement in
+// source order, the sorted plainly-held lock paths at that return.
+func plainReturns(t *testing.T, body string) [][]string {
+	t.Helper()
+	_, fn := parseFunc(t, body)
+	var out [][]string
+	w := &LockWalker{
+		OnReturn: func(_ *ast.ReturnStmt, plain map[string]LockSite) {
+			var paths []string
+			for p := range plain {
+				paths = append(paths, p)
+			}
+			sort.Strings(paths)
+			out = append(out, paths)
+		},
+	}
+	w.Walk(fn.Body)
+	return out
+}
+
+func TestLockWalkerEarlyReturnLeak(t *testing.T) {
+	got := plainReturns(t, `
+	mu.Lock()
+	if bad {
+		return
+	}
+	mu.Unlock()
+	return
+`)
+	want := [][]string{{"mu"}, nil}
+	if len(got) != 2 || !sameStrings(got[0], want[0]) || !sameStrings(got[1], want[1]) {
+		t.Errorf("plain-held at returns = %v, want %v", got, want)
+	}
+}
+
+func TestLockWalkerDeferClearsLeak(t *testing.T) {
+	got := plainReturns(t, `
+	mu.Lock()
+	defer mu.Unlock()
+	if bad {
+		return
+	}
+	return
+`)
+	for i, paths := range got {
+		if len(paths) != 0 {
+			t.Errorf("return %d: plain-held %v despite deferred unlock", i, paths)
+		}
+	}
+}
+
+func TestLockWalkerSwitchArms(t *testing.T) {
+	got := heldAt(t, `
+	switch v {
+	case 1:
+		mu.Lock()
+		mark1()
+		mu.Unlock()
+	case 2:
+		mark2()
+	}
+	mark3()
+`)
+	if !sameStrings(got["mark1"], []string{"mu"}) {
+		t.Errorf("mark1: held %v, want [mu]", got["mark1"])
+	}
+	if len(got["mark2"]) != 0 || len(got["mark3"]) != 0 {
+		t.Errorf("mark2/mark3 unexpectedly hold locks: %v / %v", got["mark2"], got["mark3"])
+	}
+}
+
+func sameStrings(a, b []string) bool {
+	if len(a) == 0 && len(b) == 0 {
+		return true
+	}
+	return reflect.DeepEqual(a, b)
+}

@@ -1,0 +1,145 @@
+// Package ctxflow enforces context-cancellation discipline in the
+// parallel study harness (internal/study and internal/simexec).
+//
+// The harness fans the 1,350-prediction grid out over a worker pool; a
+// goroutine or unbounded loop there that cannot be cancelled turns every
+// caller timeout into a leak and every test failure into a hang. Two
+// rules:
+//
+//  1. A function that spawns a goroutine or contains an unbounded loop
+//     (`for {}` / `for cond {}`) must accept a context.Context, and its
+//     body must consult it — select on ctx.Done() or check ctx.Err().
+//  2. A goroutine whose function literal captures a context.Context but
+//     never consults it (no Done/Err/Deadline/Value call, never passed
+//     on) is flagged: the capture suggests cancellation was intended and
+//     then dropped.
+//
+// Spawns that delegate by passing ctx to a named function (`go worker(ctx,
+// ...)`) satisfy both rules; cancellation handling moves callee-side.
+package ctxflow
+
+import (
+	"go/ast"
+	"strings"
+
+	"hpcmetrics/internal/analysis/cflite"
+	"hpcmetrics/internal/analysis/framework"
+)
+
+// Analyzer is the ctxflow check.
+var Analyzer = &framework.Analyzer{
+	Name: "ctxflow",
+	Doc: "requires functions in internal/study and internal/simexec that spawn goroutines " +
+		"or loop unboundedly to accept a context.Context and consult ctx.Done()/ctx.Err(); " +
+		"flags goroutines that capture a ctx without consulting it",
+	Run: run,
+}
+
+// scoped reports whether the package is one the harness rules apply to.
+func scoped(pkgPath string) bool {
+	return strings.Contains(pkgPath, "internal/study") ||
+		strings.Contains(pkgPath, "internal/simexec")
+}
+
+func run(pass *framework.Pass) error {
+	if !scoped(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, f := range pass.Syntax {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkDecl(pass, fd)
+		}
+	}
+	return nil
+}
+
+func checkDecl(pass *framework.Pass, fd *ast.FuncDecl) {
+	spawns, unbounded := false, false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			spawns = true
+			checkSpawn(pass, n)
+		case *ast.ForStmt:
+			if cflite.Unbounded(n) {
+				unbounded = true
+			}
+		}
+		return true
+	})
+	if !spawns && !unbounded {
+		return
+	}
+	what := "spawns a goroutine"
+	if !spawns {
+		what = "contains an unbounded loop"
+	}
+	if len(cflite.CtxParams(pass.Info, fd.Type)) == 0 {
+		pass.Reportf(fd.Pos(), "%s %s but takes no context.Context; accept a ctx and select on ctx.Done()", fd.Name.Name, what)
+		return
+	}
+	if !consultsCtx(pass, fd.Body) {
+		pass.Reportf(fd.Pos(), "%s %s and takes a context.Context but never consults it; select on ctx.Done() or check ctx.Err()", fd.Name.Name, what)
+	}
+}
+
+// checkSpawn applies rule 2 to one go statement: a spawned function
+// literal that captures a ctx must consult it.
+func checkSpawn(pass *framework.Pass, g *ast.GoStmt) {
+	lit, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit)
+	if !ok {
+		return // go named(ctx, ...): delegation, callee-side rules apply
+	}
+	if referencesCtx(pass, lit.Body) && !consultsCtx(pass, lit.Body) {
+		pass.Reportf(g.Pos(), "goroutine captures a context.Context but never consults it; select on ctx.Done() or drop the capture")
+	}
+}
+
+// referencesCtx reports whether any context.Context-typed identifier is
+// mentioned in n.
+func referencesCtx(pass *framework.Pass, n ast.Node) bool {
+	found := false
+	ast.Inspect(n, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && !found {
+			if obj := pass.Info.Uses[id]; obj != nil && cflite.IsContext(obj.Type()) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// consultsCtx reports whether n consults a context: calls Done, Err,
+// Deadline, or Value on a ctx-typed expression, or passes a ctx onward as
+// a call argument (delegating cancellation to the callee).
+func consultsCtx(pass *framework.Pass, n ast.Node) bool {
+	found := false
+	ast.Inspect(n, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || found {
+			return !found
+		}
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+			switch sel.Sel.Name {
+			case "Done", "Err", "Deadline", "Value":
+				if cflite.IsContext(pass.Info.TypeOf(sel.X)) {
+					found = true
+					return false
+				}
+			}
+		}
+		for _, arg := range call.Args {
+			if cflite.IsContext(pass.Info.TypeOf(arg)) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,13 @@
+package ctxflow_test
+
+import (
+	"testing"
+
+	"hpcmetrics/internal/analysis/analysistest"
+	"hpcmetrics/internal/analysis/ctxflow"
+)
+
+func TestCtxflow(t *testing.T) {
+	analysistest.Run(t, "testdata", ctxflow.Analyzer,
+		"internal/study", "internal/simexec", "pipeline")
+}

@@ -1,0 +1,21 @@
+// Package simexec is in ctxflow's scope: the executor must stay
+// cancellable now that the harness runs it from a worker pool.
+package simexec
+
+import "context"
+
+func retryForever(step func() bool) { // want `retryForever contains an unbounded loop but takes no context.Context`
+	for !step() {
+	}
+}
+
+// execute checks ctx between blocks — the accepted executor shape.
+func execute(ctx context.Context, blocks []func()) error {
+	for _, b := range blocks {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		b()
+	}
+	return nil
+}

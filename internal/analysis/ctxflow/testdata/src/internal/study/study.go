@@ -1,0 +1,113 @@
+// Package study mirrors the code shapes of the real parallel harness;
+// ctxflow applies because the fixture's import path is internal/study.
+package study
+
+import "context"
+
+func work(ctx context.Context, i int) error { return ctx.Err() }
+
+func spawnNoCtx() { // want `spawnNoCtx spawns a goroutine but takes no context.Context`
+	done := make(chan struct{})
+	go func() {
+		close(done)
+	}()
+	<-done
+}
+
+func loopNoCtx(n int) int { // want `loopNoCtx contains an unbounded loop but takes no context.Context`
+	i := 0
+	for i < n {
+		i++
+	}
+	return i
+}
+
+func infiniteNoCtx() { // want `infiniteNoCtx contains an unbounded loop but takes no context.Context`
+	for {
+	}
+}
+
+func hasCtxNeverConsults(ctx context.Context) { // want `hasCtxNeverConsults spawns a goroutine and takes a context.Context but never consults it`
+	done := make(chan struct{})
+	go func() {
+		close(done)
+	}()
+	<-done
+}
+
+func capturesButIgnores(ctx context.Context) {
+	if err := ctx.Err(); err != nil {
+		return
+	}
+	done := make(chan struct{})
+	go func() { // want `goroutine captures a context.Context but never consults it`
+		keep := ctx
+		_ = keep
+		close(done)
+	}()
+	<-done
+}
+
+// pool is the blessed worker-pool shape: ctx accepted, every goroutine
+// selects on ctx.Done(), dispatch is cancellable.
+func pool(ctx context.Context, n int) error {
+	jobs := make(chan int)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case i, ok := <-jobs:
+				if !ok {
+					return
+				}
+				_ = work(ctx, i)
+			}
+		}
+	}()
+	for i := 0; i < n; i++ { // bounded: no cancellation point required
+		select {
+		case <-ctx.Done():
+		case jobs <- i:
+		}
+	}
+	close(jobs)
+	<-done
+	return ctx.Err()
+}
+
+// delegates hands ctx to a named worker; cancellation is the callee's job.
+func delegates(ctx context.Context) {
+	go drain(ctx)
+}
+
+func drain(ctx context.Context) {
+	<-ctx.Done()
+}
+
+// whileWithErrCheck is an unbounded while-loop with an Err cancellation
+// point: accepted.
+func whileWithErrCheck(ctx context.Context, n int) error {
+	i := 0
+	for i < n {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		i++
+	}
+	return nil
+}
+
+// boundedOnly never spawns and loops over a range: no ctx required.
+func boundedOnly(xs []int) int {
+	var sum int
+	for _, x := range xs {
+		sum += x
+	}
+	for i := 0; i < 3; i++ {
+		sum += i
+	}
+	return sum
+}

@@ -1,0 +1,19 @@
+// Package pipeline sits outside internal/study and internal/simexec:
+// the same shapes draw no ctxflow diagnostics here.
+package pipeline
+
+func spawnNoCtx() {
+	done := make(chan struct{})
+	go func() {
+		close(done)
+	}()
+	<-done
+}
+
+func loopNoCtx(n int) int {
+	i := 0
+	for i < n {
+		i++
+	}
+	return i
+}

@@ -1,4 +1,5 @@
-// Package errflow flags discarded errors in the internal packages.
+// Package errflow flags discarded errors in the internal packages and in
+// the command mains under cmd/... .
 //
 // A prediction study that silently swallows an error keeps producing
 // numbers — wrong ones. Two discard shapes are flagged: calls used as
@@ -9,11 +10,17 @@
 // convention: the fmt printing functions (their error is for broken
 // writers; progress output goes to best-effort writers here) and methods
 // on strings.Builder and bytes.Buffer, whose errors are documented to be
-// always nil.
+// always nil. In command mains one further shape is allowed: a bare-call
+// discard whose immediately following statement terminates the process
+// (os.Exit, log.Fatal*, panic) — the classic best-effort flush on the way
+// out, where nothing could act on the error anyway. Example packages
+// (examples/...) remain fully exempt; they shorten error handling for
+// readability.
 package errflow
 
 import (
 	"go/ast"
+	"go/token"
 	"go/types"
 	"strings"
 
@@ -23,20 +30,28 @@ import (
 // Analyzer is the errflow check.
 var Analyzer = &framework.Analyzer{
 	Name: "errflow",
-	Doc: "flags discarded errors in internal packages: bare call statements that " +
-		"return an error, and error results assigned to _",
+	Doc: "flags discarded errors in internal packages and command mains: bare call " +
+		"statements that return an error, and error results assigned to _",
 	Run: run,
 }
 
 func run(pass *framework.Pass) error {
-	if !strings.Contains(pass.Pkg.Path(), "internal") {
+	path := pass.Pkg.Path()
+	isCmd := pass.Pkg.Name() == "main" && strings.Contains(path, "cmd")
+	if !strings.Contains(path, "internal") && !isCmd {
 		return nil
 	}
 	for _, f := range pass.Syntax {
+		var exitAdjacent map[token.Pos]bool
+		if isCmd {
+			exitAdjacent = collectExitAdjacent(pass, f)
+		}
 		ast.Inspect(f, func(n ast.Node) bool {
 			switch n := n.(type) {
 			case *ast.ExprStmt:
-				checkExprStmt(pass, n)
+				if !exitAdjacent[n.Pos()] {
+					checkExprStmt(pass, n)
+				}
 			case *ast.AssignStmt:
 				checkAssign(pass, n)
 			}
@@ -44,6 +59,65 @@ func run(pass *framework.Pass) error {
 		})
 	}
 	return nil
+}
+
+// collectExitAdjacent finds the bare-call statements whose successor in
+// the same statement list terminates the process: their error result
+// feeds an os.Exit/log.Fatal path and is exempt in command mains.
+func collectExitAdjacent(pass *framework.Pass, f *ast.File) map[token.Pos]bool {
+	out := map[token.Pos]bool{}
+	scan := func(list []ast.Stmt) {
+		for i := 0; i+1 < len(list); i++ {
+			if _, ok := list[i].(*ast.ExprStmt); ok && terminates(pass, list[i+1]) {
+				out[list[i].Pos()] = true
+			}
+		}
+	}
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.BlockStmt:
+			scan(n.List)
+		case *ast.CaseClause:
+			scan(n.Body)
+		case *ast.CommClause:
+			scan(n.Body)
+		}
+		return true
+	})
+	return out
+}
+
+// terminates recognizes statements that end the process: calls to
+// os.Exit, log.Fatal/Fatalf/Fatalln, and panic.
+func terminates(pass *framework.Pass, s ast.Stmt) bool {
+	es, ok := s.(*ast.ExprStmt)
+	if !ok {
+		return false
+	}
+	call, ok := ast.Unparen(es.X).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fun.Name != "panic" {
+			return false
+		}
+		_, builtin := pass.Info.Uses[fun].(*types.Builtin)
+		return builtin || pass.Info.Uses[fun] == nil
+	case *ast.SelectorExpr:
+		fn, ok := pass.Info.Uses[fun.Sel].(*types.Func)
+		if !ok || fn.Pkg() == nil {
+			return false
+		}
+		switch fn.Pkg().Path() {
+		case "os":
+			return fn.Name() == "Exit"
+		case "log":
+			return strings.HasPrefix(fn.Name(), "Fatal")
+		}
+	}
+	return false
 }
 
 func checkExprStmt(pass *framework.Pass, stmt *ast.ExprStmt) {

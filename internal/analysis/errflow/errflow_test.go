@@ -8,5 +8,5 @@ import (
 )
 
 func TestErrflow(t *testing.T) {
-	analysistest.Run(t, "testdata", errflow.Analyzer, "internal/a", "cmdpkg")
+	analysistest.Run(t, "testdata", errflow.Analyzer, "internal/a", "cmdpkg", "cmd/demo")
 }

@@ -1,0 +1,42 @@
+// Command demo exercises errflow's command-main rules: discarded errors
+// are flagged even in package main under cmd/..., except for a bare-call
+// discard whose very next statement terminates the process.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+)
+
+func mayFail() error { return nil }
+
+func flush() error { return nil }
+
+func main() {
+	mayFail()     // want `error result of mayFail is discarded`
+	_ = mayFail() // want `discarded into _`
+	if err := work(); err != nil {
+		flush() // ok: log.Fatal next — nothing could act on the error
+		log.Fatal(err)
+	}
+	flush() // ok: os.Exit next
+	os.Exit(0)
+}
+
+func work() error {
+	switch os.Getenv("MODE") {
+	case "fatal":
+		flush() // ok: log.Fatalf next
+		log.Fatalf("giving up")
+	case "panic":
+		flush() // ok: panic next
+		panic("giving up")
+	case "spaced":
+		flush() // want `error result of flush is discarded`
+		fmt.Println("a non-terminator between discard and exit")
+		os.Exit(1)
+	}
+	flush() // want `error result of flush is discarded`
+	return nil
+}

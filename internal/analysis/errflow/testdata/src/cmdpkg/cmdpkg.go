@@ -1,5 +1,6 @@
-// Package cmdpkg sits outside internal/..., where errflow does not apply
-// (examples and command mains may legitimately shorten error handling).
+// Package cmdpkg sits outside internal/... and is not a command main, so
+// errflow does not apply (example packages may legitimately shorten error
+// handling for readability).
 package cmdpkg
 
 func mayFail() error { return nil }

@@ -1,8 +1,13 @@
 package framework
 
 import (
+	"go/ast"
+	"os"
 	"reflect"
+	"strings"
 	"testing"
+
+	"hpcmetrics/internal/analysis/load"
 )
 
 func TestParseIgnore(t *testing.T) {
@@ -29,5 +34,67 @@ func TestParseIgnore(t *testing.T) {
 		if !ok || !reflect.DeepEqual(names, c.names) {
 			t.Errorf("parseIgnore(%q) = %v, %v; want %v", c.text, names, ok, c.names)
 		}
+	}
+}
+
+// TestSuppressionMatrix runs a toy analyzer (flag every call to trigger)
+// over the supp fixture and checks exactly which diagnostics survive the
+// //hpclint:ignore directives: trailing same-line, line-above, multiline
+// statements, analyzer-name filtering, and the two-lines-up miss.
+func TestSuppressionMatrix(t *testing.T) {
+	toy := &Analyzer{
+		Name: "toy",
+		Doc:  "flags every call to trigger",
+		Run: func(pass *Pass) error {
+			for _, f := range pass.Syntax {
+				ast.Inspect(f, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "trigger" {
+						pass.Reportf(call.Pos(), "call to trigger")
+					}
+					return true
+				})
+			}
+			return nil
+		},
+	}
+
+	const fixture = "testdata/src/supp/supp.go"
+	pkg, err := load.New().LoadAs("testdata/src/supp", "supp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := Run(pkg, []*Analyzer{toy})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The fixture marks its expected survivors: any line containing the
+	// word "survive" should yield a diagnostic, and nothing else should.
+	src, err := os.ReadFile(fixture)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want []int
+	for i, line := range strings.Split(string(src), "\n") {
+		if strings.Contains(line, "survive") && strings.Contains(line, "trigger(") {
+			want = append(want, i+1)
+		}
+	}
+	if len(want) == 0 {
+		t.Fatal("fixture has no survive markers; the test is vacuous")
+	}
+	var got []int
+	for _, d := range diags {
+		if d.Analyzer != "toy" {
+			t.Errorf("unexpected analyzer %q in %s", d.Analyzer, d)
+		}
+		got = append(got, d.Pos.Line)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("surviving diagnostic lines = %v, want %v\ndiags:\n%v", got, want, diags)
 	}
 }

@@ -1,0 +1,44 @@
+// Package supp exercises the //hpclint:ignore suppression matrix against
+// a toy analyzer that flags every call to trigger. Lines whose text
+// contains the word "survive" are the ones expected to keep their
+// diagnostic; every other trigger call is silenced.
+package supp
+
+func trigger(args ...int) {}
+
+func plain() {
+	trigger() // survive: no directive anywhere near
+}
+
+func sameLine() {
+	trigger() //hpclint:ignore toy a trailing directive silences its own line
+}
+
+func lineAbove() {
+	//hpclint:ignore toy a standalone directive covers the next line
+	trigger()
+}
+
+func multiline() {
+	// The diagnostic lands on the statement's first line, so a directive
+	// above a multiline call silences the whole statement.
+	//hpclint:ignore toy covers the first line of the call below
+	trigger(
+		1,
+		2,
+	)
+}
+
+func wrongName() {
+	trigger() //hpclint:ignore other the directive names a different analyzer, so toy must survive
+}
+
+func nameList() {
+	trigger() //hpclint:ignore other,toy a name list including toy silences it
+}
+
+func tooFarAbove() {
+	//hpclint:ignore toy a directive two lines up does not reach
+	_ = 0
+	trigger() // survive: the directive above is out of range
+}

@@ -1,0 +1,124 @@
+// Package lockguard enforces `// guarded by <mu>` field annotations.
+//
+// A struct field whose declaration carries the annotation
+//
+//	type progressLog struct {
+//		mu sync.Mutex
+//		w  io.Writer // guarded by mu
+//	}
+//
+// may only be read or written while the named sibling mutex is held on
+// every path to the access. Lock state is tracked by the shared CFG-lite
+// walker (internal/analysis/cflite): Lock/RLock acquire, Unlock/RUnlock
+// release, `defer mu.Unlock()` holds to every return, and branch arms
+// merge by intersection — an access is safe only if all paths hold the
+// mutex. The mutex is resolved relative to the access: `l.w` demands
+// `l.mu` held, `a.b.w` demands `a.b.mu`. Composite-literal construction
+// sites are not accesses (the value is not yet shared).
+package lockguard
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+
+	"hpcmetrics/internal/analysis/cflite"
+	"hpcmetrics/internal/analysis/framework"
+)
+
+// Analyzer is the lockguard check.
+var Analyzer = &framework.Analyzer{
+	Name: "lockguard",
+	Doc: "fields annotated `// guarded by <mu>` may only be accessed with that mutex " +
+		"held on every path; flags the unguarded access site",
+	Run: run,
+}
+
+// annotation matches "guarded by <identifier>" in a field comment.
+var annotation = regexp.MustCompile(`\bguarded by (\w+)\b`)
+
+func run(pass *framework.Pass) error {
+	guarded := collectGuarded(pass)
+	if len(guarded) == 0 {
+		return nil
+	}
+	for _, f := range pass.Syntax {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, fd, guarded)
+		}
+	}
+	return nil
+}
+
+// collectGuarded maps each annotated field object to its guarding mutex
+// field name.
+func collectGuarded(pass *framework.Pass) map[types.Object]string {
+	guarded := map[types.Object]string{}
+	for _, f := range pass.Syntax {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				mu := annotationName(field)
+				if mu == "" {
+					continue
+				}
+				for _, name := range field.Names {
+					if obj := pass.Info.Defs[name]; obj != nil {
+						guarded[obj] = mu
+					}
+				}
+			}
+			return true
+		})
+	}
+	return guarded
+}
+
+// annotationName extracts the mutex name from the field's trailing or doc
+// comment, or "".
+func annotationName(field *ast.Field) string {
+	for _, cg := range []*ast.CommentGroup{field.Comment, field.Doc} {
+		if cg == nil {
+			continue
+		}
+		if m := annotation.FindStringSubmatch(cg.Text()); m != nil {
+			return m[1]
+		}
+	}
+	return ""
+}
+
+func checkFunc(pass *framework.Pass, fd *ast.FuncDecl, guarded map[types.Object]string) {
+	w := &cflite.LockWalker{
+		OnNode: func(n ast.Node, held map[string]cflite.LockSite) {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return
+			}
+			obj := pass.Info.Uses[sel.Sel]
+			mu, ok := guarded[obj]
+			if !ok {
+				return
+			}
+			base := cflite.Path(sel.X)
+			if base == "" {
+				// The holder is not a nameable path (e.g. a call result);
+				// the walker cannot relate it to a Lock site. Flag it: the
+				// access cannot be proven guarded.
+				pass.Reportf(sel.Sel.Pos(), "field %s is guarded by %s but accessed through an untrackable expression", sel.Sel.Name, mu)
+				return
+			}
+			if _, ok := held[base+"."+mu]; !ok {
+				pass.Reportf(sel.Sel.Pos(), "field %s is guarded by %s but accessed without holding %s.%s on every path", sel.Sel.Name, mu, base, mu)
+			}
+		},
+	}
+	w.Walk(fd.Body)
+}

@@ -1,0 +1,12 @@
+package lockguard_test
+
+import (
+	"testing"
+
+	"hpcmetrics/internal/analysis/analysistest"
+	"hpcmetrics/internal/analysis/lockguard"
+)
+
+func TestLockguard(t *testing.T) {
+	analysistest.Run(t, "testdata", lockguard.Analyzer, "a", "clean")
+}

@@ -1,0 +1,95 @@
+// Package a exercises lockguard: annotated fields accessed with and
+// without their guarding mutex held.
+package a
+
+import "sync"
+
+type counter struct {
+	mu   sync.Mutex
+	n    int // guarded by mu
+	hits int // guarded by mu
+	name string
+}
+
+type rwbox struct {
+	mu sync.RWMutex
+	// guarded by mu
+	vals []int
+}
+
+func newCounter(name string) *counter {
+	return &counter{name: name} // construction: not an access
+}
+
+func (c *counter) inc() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+	c.hits++
+}
+
+func (c *counter) plainLockSpan() int {
+	c.mu.Lock()
+	v := c.n
+	c.mu.Unlock()
+	return v
+}
+
+func (c *counter) bareRead() int {
+	return c.n // want `field n is guarded by mu but accessed without holding c.mu`
+}
+
+func (c *counter) unguardedField() string {
+	return c.name // no annotation: fine
+}
+
+func (c *counter) afterUnlock() {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+	c.hits++ // want `field hits is guarded by mu but accessed without holding c.mu`
+}
+
+func (c *counter) oneArmedLock(b bool) {
+	if b {
+		c.mu.Lock()
+	}
+	c.n++ // want `field n is guarded by mu but accessed without holding c.mu on every path`
+	if b {
+		c.mu.Unlock()
+	}
+}
+
+func (c *counter) bothArmsLock(b bool) {
+	if b {
+		c.mu.Lock()
+	} else {
+		c.mu.Lock()
+	}
+	c.n++
+	c.mu.Unlock()
+}
+
+func crossObject(src, dst *counter) {
+	src.mu.Lock()
+	dst.n = src.n // want `field n is guarded by mu but accessed without holding dst.mu`
+	src.mu.Unlock()
+}
+
+func (b *rwbox) readLocked() int {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return len(b.vals)
+}
+
+func (b *rwbox) readUnlocked() int {
+	return len(b.vals) // want `field vals is guarded by mu but accessed without holding b.mu`
+}
+
+func (c *counter) literalEscapesLock() func() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return func() int {
+		return c.n // want `field n is guarded by mu but accessed without holding c.mu`
+	}
+}

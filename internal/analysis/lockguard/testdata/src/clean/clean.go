@@ -1,0 +1,33 @@
+// Package clean is the non-flagging fixture: every guarded access holds
+// its mutex, and un-annotated structs draw no diagnostics at all.
+package clean
+
+import "sync"
+
+type plain struct {
+	mu sync.Mutex
+	n  int
+}
+
+// No annotation anywhere: lockguard has nothing to enforce.
+func (p *plain) touch() {
+	p.n++
+}
+
+type guarded struct {
+	mu sync.Mutex
+	n  int // guarded by mu
+}
+
+func (g *guarded) add(d int) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.n += d
+}
+
+func (g *guarded) get() int {
+	g.mu.Lock()
+	v := g.n
+	g.mu.Unlock()
+	return v
+}

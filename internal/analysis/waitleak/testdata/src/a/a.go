@@ -1,0 +1,147 @@
+// Package a exercises waitleak's three checks: WaitGroup arity,
+// goroutine channel sends, and defer-less locks with early returns.
+package a
+
+import (
+	"context"
+	"errors"
+	"sync"
+)
+
+var errBad = errors.New("bad")
+
+// --- WaitGroup arity ---
+
+func arityMismatch() {
+	var wg sync.WaitGroup
+	wg.Add(2) // want `sync.WaitGroup arity: wg.Add totals 2 but 1 Done`
+	go func() {
+		defer wg.Done()
+	}()
+	wg.Wait()
+}
+
+func arityMatched() {
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+	}()
+	go func() {
+		defer wg.Done()
+	}()
+	wg.Wait()
+}
+
+func perIterationAdd(n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+		}()
+	}
+	wg.Wait()
+}
+
+func dynamicAdd(n int) {
+	var wg sync.WaitGroup
+	wg.Add(n) // computed count: not statically countable, left alone
+	for i := 0; i < n; i++ {
+		go func() {
+			defer wg.Done()
+		}()
+	}
+	wg.Wait()
+}
+
+func addOutsideDoneInside(xs []int) {
+	var wg sync.WaitGroup
+	wg.Add(1) // depth differs from the Done's: not countable, left alone
+	for range xs {
+		wg.Done()
+	}
+	wg.Wait()
+}
+
+// --- goroutine channel sends ---
+
+func leakySend(ch chan int) {
+	go func() {
+		ch <- 1 // want `goroutine sends on a channel outside a select`
+	}()
+}
+
+func ctxAwareSend(ctx context.Context, ch chan int) {
+	go func() {
+		select {
+		case ch <- 1:
+		case <-ctx.Done():
+		}
+	}()
+}
+
+func nonBlockingSend(ch chan int) {
+	go func() {
+		select {
+		case ch <- 1:
+		default:
+		}
+	}()
+}
+
+func selectWithoutEscape(ch, other chan int) {
+	go func() {
+		select {
+		case ch <- 1: // want `goroutine sends on a channel outside a select`
+		case v := <-other:
+			_ = v
+		}
+	}()
+}
+
+func sendOutsideGoroutine(ch chan int) {
+	ch <- 1 // the caller's own blocking is its business; only goroutines leak silently
+}
+
+// --- defer-less locks ---
+
+func earlyReturnLeak(mu *sync.Mutex, bad bool) error {
+	mu.Lock() // want `mu.Lock\(\) is not released on every return path`
+	if bad {
+		return errBad
+	}
+	mu.Unlock()
+	return nil
+}
+
+func deferredRelease(mu *sync.Mutex, bad bool) error {
+	mu.Lock()
+	defer mu.Unlock()
+	if bad {
+		return errBad
+	}
+	return nil
+}
+
+func straightLineRelease(mu *sync.Mutex) int {
+	mu.Lock()
+	v := 1
+	mu.Unlock()
+	return v
+}
+
+type box struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (b *box) methodLeak(bad bool) (int, error) {
+	b.mu.Lock() // want `b.mu.Lock\(\) is not released on every return path`
+	if bad {
+		return 0, errBad
+	}
+	v := b.n
+	b.mu.Unlock()
+	return v, nil
+}

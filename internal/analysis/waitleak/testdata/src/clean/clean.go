@@ -1,0 +1,54 @@
+// Package clean is the non-flagging fixture: the worker-pool shape the
+// real harness uses, which all three waitleak checks accept.
+package clean
+
+import (
+	"context"
+	"sync"
+)
+
+func pool(ctx context.Context, n, workers int, work func(context.Context, int) error) error {
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var (
+		wg   sync.WaitGroup
+		jobs = make(chan int)
+		errs = make([]error, n)
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case i, ok := <-jobs:
+					if !ok {
+						return
+					}
+					if err := work(ctx, i); err != nil {
+						errs[i] = err
+						cancel()
+					}
+				}
+			}
+		}()
+	}
+feed:
+	for i := 0; i < n; i++ {
+		select {
+		case <-ctx.Done():
+			break feed
+		case jobs <- i:
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return ctx.Err()
+}

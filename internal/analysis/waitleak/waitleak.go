@@ -1,0 +1,294 @@
+// Package waitleak flags the three goroutine-leak shapes the parallel
+// study harness must never grow:
+//
+//  1. sync.WaitGroup arity mismatch — within a function, when every
+//     wg.Add carries a constant argument and all Add/Done calls sit at
+//     the same loop depth, the Add total must equal the Done count. (A
+//     per-iteration Add(1) paired with a `defer wg.Done()` in the spawned
+//     goroutine balances; Add with a computed count is not statically
+//     countable and is left alone.)
+//  2. Channel sends inside goroutines with no cancellation escape — a
+//     `ch <- v` in a `go func(){...}` body blocks forever once the
+//     receiver stops; it must sit in a select with a ctx.Done() case or a
+//     default clause (or the send must be provably non-blocking, which a
+//     static check cannot see — restructure or suppress with a justified
+//     //hpclint:ignore).
+//  3. Defer-less mu.Lock() in functions that can return early — a return
+//     between Lock and its plain Unlock leaves the mutex held; the
+//     shared CFG-lite walker (internal/analysis/cflite) finds the
+//     escaping path and flags the Lock site.
+package waitleak
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"hpcmetrics/internal/analysis/cflite"
+	"hpcmetrics/internal/analysis/framework"
+)
+
+// Analyzer is the waitleak check.
+var Analyzer = &framework.Analyzer{
+	Name: "waitleak",
+	Doc: "flags sync.WaitGroup Add/Done arity mismatches, goroutine channel sends " +
+		"without a ctx-aware select, and defer-less mutex locks that leak on early return",
+	Run: run,
+}
+
+func run(pass *framework.Pass) error {
+	for _, f := range pass.Syntax {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkWaitGroups(pass, fd)
+			checkGoroutineSends(pass, fd)
+			checkDeferlessLocks(pass, fd)
+		}
+	}
+	return nil
+}
+
+// --- check 1: WaitGroup arity ---
+
+type wgCounts struct {
+	addSum    int64
+	addConst  bool // every Add argument is a constant int
+	firstAdd  token.Pos
+	addDepths map[int]bool
+	dones     int
+	doneDepth map[int]bool
+}
+
+func checkWaitGroups(pass *framework.Pass, fd *ast.FuncDecl) {
+	groups := map[string]*wgCounts{}
+	walkDepth(fd.Body, 0, func(n ast.Node, depth int) {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok || !isWaitGroup(pass, sel.X) {
+			return
+		}
+		path := cflite.Path(sel.X)
+		if path == "" {
+			return
+		}
+		g := groups[path]
+		if g == nil {
+			g = &wgCounts{addConst: true, addDepths: map[int]bool{}, doneDepth: map[int]bool{}}
+			groups[path] = g
+		}
+		switch sel.Sel.Name {
+		case "Add":
+			if g.firstAdd == token.NoPos {
+				g.firstAdd = call.Pos()
+			}
+			g.addDepths[depth] = true
+			if v, ok := constInt(pass, call); ok {
+				g.addSum += v
+			} else {
+				g.addConst = false
+			}
+		case "Done":
+			g.dones++
+			g.doneDepth[depth] = true
+		}
+	})
+	names := make([]string, 0, len(groups))
+	for name := range groups {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		g := groups[name]
+		if !g.addConst || g.firstAdd == token.NoPos || g.dones == 0 {
+			continue // dynamic Add or no pairing to audit
+		}
+		if len(g.addDepths) != 1 || len(g.doneDepth) != 1 ||
+			!sameSingleton(g.addDepths, g.doneDepth) {
+			continue // Adds and Dones at different loop depths: not countable
+		}
+		if g.addSum != int64(g.dones) {
+			pass.Reportf(g.firstAdd, "sync.WaitGroup arity: %s.Add totals %d but %d Done call(s); the Wait will deadlock or release early", name, g.addSum, g.dones)
+		}
+	}
+}
+
+func sameSingleton(a, b map[int]bool) bool {
+	for k := range a {
+		return b[k]
+	}
+	return false
+}
+
+// walkDepth visits every node under root with its enclosing loop depth.
+// Function-literal bodies keep the depth of the statement that mentions
+// them: a `go func(){ defer wg.Done() }()` inside a loop runs once per
+// iteration, matching the loop's per-iteration Add.
+func walkDepth(root ast.Node, depth int, visit func(n ast.Node, depth int)) {
+	ast.Inspect(root, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case nil:
+			return false
+		case *ast.ForStmt:
+			if n.Init != nil {
+				walkDepth(n.Init, depth, visit)
+			}
+			if n.Cond != nil {
+				walkDepth(n.Cond, depth, visit)
+			}
+			if n.Post != nil {
+				walkDepth(n.Post, depth, visit)
+			}
+			walkDepth(n.Body, depth+1, visit)
+			return false
+		case *ast.RangeStmt:
+			if n.X != nil {
+				walkDepth(n.X, depth, visit)
+			}
+			walkDepth(n.Body, depth+1, visit)
+			return false
+		}
+		visit(n, depth)
+		return true
+	})
+}
+
+func isWaitGroup(pass *framework.Pass, x ast.Expr) bool {
+	t := pass.Info.TypeOf(x)
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" && obj.Name() == "WaitGroup"
+}
+
+func constInt(pass *framework.Pass, call *ast.CallExpr) (int64, bool) {
+	if len(call.Args) != 1 {
+		return 0, false
+	}
+	tv, ok := pass.Info.Types[call.Args[0]]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.Int {
+		return 0, false
+	}
+	return constant.Int64Val(tv.Value)
+}
+
+// --- check 2: goroutine sends without a cancellation escape ---
+
+func checkGoroutineSends(pass *framework.Pass, fd *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		g, ok := n.(*ast.GoStmt)
+		if !ok {
+			return true
+		}
+		lit, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit)
+		if !ok {
+			return true
+		}
+		checkSends(pass, lit.Body, false)
+		return true
+	})
+}
+
+// checkSends flags send statements not covered by an escapable select.
+// covered is true inside a select that has a default clause or a
+// ctx.Done() receive case.
+func checkSends(pass *framework.Pass, n ast.Node, covered bool) {
+	ast.Inspect(n, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			if !covered {
+				pass.Reportf(n.Arrow, "goroutine sends on a channel outside a select with a ctx.Done() case or default; if every receiver stops, this goroutine leaks")
+			}
+			return true
+		case *ast.SelectStmt:
+			inner := covered || selectEscapes(pass, n)
+			for _, c := range n.Body.List {
+				checkSends(pass, c, inner)
+			}
+			return false
+		case *ast.FuncLit:
+			checkSends(pass, n.Body, false)
+			return false
+		}
+		return true
+	})
+}
+
+// selectEscapes reports whether the select can always leave: it has a
+// default clause or a case receiving from a context's Done channel.
+func selectEscapes(pass *framework.Pass, sel *ast.SelectStmt) bool {
+	for _, c := range sel.Body.List {
+		comm, ok := c.(*ast.CommClause)
+		if !ok {
+			continue
+		}
+		if comm.Comm == nil {
+			return true // default
+		}
+		if recvFromDone(pass, comm.Comm) {
+			return true
+		}
+	}
+	return false
+}
+
+// recvFromDone matches `<-ctx.Done()` (bare or assigned) where ctx is a
+// context.Context.
+func recvFromDone(pass *framework.Pass, s ast.Stmt) bool {
+	var x ast.Expr
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		x = s.X
+	case *ast.AssignStmt:
+		if len(s.Rhs) == 1 {
+			x = s.Rhs[0]
+		}
+	}
+	un, ok := ast.Unparen(x).(*ast.UnaryExpr)
+	if !ok || un.Op != token.ARROW {
+		return false
+	}
+	call, ok := ast.Unparen(un.X).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	return ok && fn.Sel.Name == "Done" && cflite.IsContext(pass.Info.TypeOf(fn.X))
+}
+
+// --- check 3: defer-less locks escaping through early returns ---
+
+func checkDeferlessLocks(pass *framework.Pass, fd *ast.FuncDecl) {
+	leaks := map[token.Pos]string{}
+	w := &cflite.LockWalker{
+		OnReturn: func(_ *ast.ReturnStmt, plain map[string]cflite.LockSite) {
+			for path, site := range plain {
+				leaks[site.Pos] = path
+			}
+		},
+	}
+	w.Walk(fd.Body)
+	order := make([]token.Pos, 0, len(leaks))
+	for pos := range leaks {
+		order = append(order, pos)
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
+	for _, pos := range order {
+		pass.Reportf(pos, "%s.Lock() is not released on every return path; defer the Unlock", leaks[pos])
+	}
+}

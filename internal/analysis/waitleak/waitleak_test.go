@@ -1,0 +1,12 @@
+package waitleak_test
+
+import (
+	"testing"
+
+	"hpcmetrics/internal/analysis/analysistest"
+	"hpcmetrics/internal/analysis/waitleak"
+)
+
+func TestWaitleak(t *testing.T) {
+	analysistest.Run(t, "testdata", waitleak.Analyzer, "a", "clean")
+}

@@ -16,6 +16,7 @@
 package simexec
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -102,6 +103,15 @@ func SampleSize(spec access.StreamSpec) int {
 
 // Execute runs the app on the machine and returns the priced result.
 func Execute(cfg *machine.Config, app *workload.App) (*Result, error) {
+	return ExecuteContext(context.Background(), cfg, app)
+}
+
+// ExecuteContext is Execute with cancellation: the study's parallel
+// harness runs many executions concurrently and must be able to abandon
+// in-flight work. The context is consulted between basic blocks — the
+// unit of simulation cost — so cancellation takes effect within one
+// block's cache-stream sample.
+func ExecuteContext(ctx context.Context, cfg *machine.Config, app *workload.App) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, fmt.Errorf("simexec: %w", err)
 	}
@@ -121,6 +131,9 @@ func Execute(cfg *machine.Config, app *workload.App) (*Result, error) {
 	hz := cfg.ClockGHz * 1e9
 
 	for i := range app.Blocks {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("simexec: %s: %w", app.ID(), err)
+		}
 		blk := &app.Blocks[i]
 		br, err := executeBlock(cfg, blk, hz)
 		if err != nil {

@@ -11,9 +11,11 @@
 package study
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
+	"runtime"
 	"sort"
 	"sync"
 
@@ -98,10 +100,20 @@ func observationNoise(key Key, machineName string) float64 {
 // (DESIGN.md calls these out); all are off for the paper reproduction.
 type Options struct {
 	// Progress, when non-nil, receives one line per completed stage.
+	// Parallel stages emit their per-item lines in completion order;
+	// each line's content is deterministic, the interleaving is not.
 	Progress io.Writer
 	// Apps, when non-empty, restricts the study to the named test cases
 	// ("avus-standard", ...) — handy for quick partial studies.
 	Apps []string
+	// Targets, when non-empty, restricts the prediction targets to the
+	// named preset systems (paper Table 5 names, e.g. "ARL_Opteron").
+	// With Apps this carves the -short and benchmark slices.
+	Targets []string
+	// Workers bounds the harness's worker pool; 0 means GOMAXPROCS.
+	// Results are byte-identical at any worker count: every stage writes
+	// into indexed slots, so scheduling never reorders aggregation.
+	Workers int
 	// DisableNoise turns off the deterministic observation noise.
 	DisableNoise bool
 	// IdleMemory runs applications on idle-node memory, removing the
@@ -140,16 +152,128 @@ func idle(cfg *machine.Config) *machine.Config {
 	return out
 }
 
-func (o Options) logf(format string, args ...any) {
-	if o.Progress != nil {
-		fmt.Fprintf(o.Progress, format+"\n", args...)
+// studyTargets resolves the prediction-target set: the full paper grid,
+// or the Options.Targets subset in the order given.
+func (o Options) studyTargets() ([]*machine.Config, error) {
+	all := machine.StudyTargets()
+	if len(o.Targets) == 0 {
+		return all, nil
 	}
+	byName := make(map[string]*machine.Config, len(all))
+	for _, cfg := range all {
+		byName[cfg.Name] = cfg
+	}
+	out := make([]*machine.Config, 0, len(o.Targets))
+	for _, name := range o.Targets {
+		cfg, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("study: unknown target system %q", name)
+		}
+		out = append(out, cfg)
+	}
+	return out, nil
+}
+
+// progressLog serializes progress lines from concurrent workers. A nil
+// *progressLog (no sink configured) makes logf a no-op, so call sites
+// stay unconditional.
+type progressLog struct {
+	mu sync.Mutex
+	w  io.Writer // guarded by mu
+}
+
+func newProgressLog(w io.Writer) *progressLog {
+	if w == nil {
+		return nil
+	}
+	return &progressLog{w: w}
+}
+
+func (l *progressLog) logf(format string, args ...any) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	fmt.Fprintf(l.w, format+"\n", args...)
+}
+
+// forEachIndexed runs work(ctx, i) for every i in [0, n) on a worker pool
+// bounded by workers (0 means GOMAXPROCS). Determinism comes from indexed
+// slots: each worker writes only to its own index, so the caller's
+// aggregation order — and therefore the study's output bytes — does not
+// depend on scheduling. On failure the error with the lowest index wins;
+// remaining work is cancelled. A cancelled ctx stops dispatch and is
+// returned as ctx.Err().
+func forEachIndexed(ctx context.Context, n, workers int, work func(ctx context.Context, i int) error) error {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var (
+		wg   sync.WaitGroup
+		jobs = make(chan int)
+		errs = make([]error, n)
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case i, ok := <-jobs:
+					if !ok {
+						return
+					}
+					if err := work(ctx, i); err != nil {
+						errs[i] = err
+						cancel()
+					}
+				}
+			}
+		}()
+	}
+feed:
+	for i := 0; i < n; i++ {
+		select {
+		case <-ctx.Done():
+			break feed
+		case jobs <- i:
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return ctx.Err()
 }
 
 // Run executes the full study.
 func Run(opts Options) (*Results, error) {
+	return RunContext(context.Background(), opts)
+}
+
+// RunContext executes the full study under ctx: probing, observation, and
+// tracing fan out over a GOMAXPROCS-bounded worker pool, and cancelling
+// ctx abandons in-flight simulation promptly (the executor consults the
+// context between basic blocks). Output is byte-identical to a sequential
+// run — see Options.Workers.
+func RunContext(ctx context.Context, opts Options) (*Results, error) {
 	base := machine.Base()
-	targets := machine.StudyTargets()
+	targets, err := opts.studyTargets()
+	if err != nil {
+		return nil, err
+	}
+	plog := newProgressLog(opts.Progress)
 
 	res := &Results{
 		BaseName:  base.Name,
@@ -162,16 +286,24 @@ func Run(opts Options) (*Results, error) {
 		res.TargetNames = append(res.TargetNames, t.Name)
 	}
 
-	// Stage 1: probe all machines (base + targets).
+	// Stage 1: probe all machines (base + targets), one pool job each.
 	all := append([]*machine.Config{base}, targets...)
-	for _, cfg := range all {
-		pr, err := probes.Measure(cfg)
+	prs := make([]*probes.Results, len(all))
+	err = forEachIndexed(ctx, len(all), opts.Workers, func(ctx context.Context, i int) error {
+		pr, err := probes.Measure(all[i])
 		if err != nil {
-			return nil, fmt.Errorf("study: probing %s: %w", cfg.Name, err)
+			return fmt.Errorf("study: probing %s: %w", all[i].Name, err)
 		}
-		res.Probes[cfg.Name] = pr
-		opts.logf("probed %s (HPL %.2f GF/s, STREAM %.2f GB/s)", cfg.Name,
+		prs[i] = pr
+		plog.logf("probed %s (HPL %.2f GF/s, STREAM %.2f GB/s)", all[i].Name,
 			pr.HPLFlopsPerSec/1e9, pr.StreamBytesPerSec/1e9)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, cfg := range all {
+		res.Probes[cfg.Name] = prs[i]
 	}
 
 	execTarget := func(cfg *machine.Config) *machine.Config {
@@ -182,6 +314,19 @@ func Run(opts Options) (*Results, error) {
 	}
 
 	// Stage 2: instantiate cells, observe ground truth, trace on base.
+	// Each cell is one pool job; slots keep aggregation in paper order no
+	// matter which worker finishes first.
+	type cellJob struct {
+		key   Key
+		tc    apps.TestCase
+		procs int
+	}
+	type cellOut struct {
+		baseSeconds float64
+		tr          *trace.Trace
+		obs         map[string]float64
+	}
+	var cellJobs []cellJob
 	for _, tc := range apps.Registry() {
 		if !opts.wantsApp(tc.ID()) {
 			continue
@@ -189,47 +334,65 @@ func Run(opts Options) (*Results, error) {
 		for _, procs := range tc.CPUCounts {
 			key := Key{App: tc.Name, Case: tc.Case, Procs: procs}
 			res.Cells = append(res.Cells, key)
-			app, err := tc.Instance(procs)
-			if err != nil {
-				return nil, fmt.Errorf("study: %s: %w", key, err)
-			}
-
-			baseRun, err := simexec.Execute(execTarget(base), app)
-			if err != nil {
-				return nil, fmt.Errorf("study: base run %s: %w", key, err)
-			}
-			res.BaseTimes[key] = baseRun.Seconds * opts.noise(key, base.Name)
-
-			tr, err := trace.Collect(base, app)
-			if err != nil {
-				return nil, fmt.Errorf("study: tracing %s: %w", key, err)
-			}
-			if opts.NoDependencyFlags {
-				for i := range tr.Blocks {
-					tr.Blocks[i].ILPLimited = false
-				}
-			}
-			res.Traces[key] = tr
-
-			obs := make(map[string]float64, len(targets))
-			for _, cfg := range targets {
-				run, err := simexec.Execute(execTarget(cfg), app)
-				if errors.Is(err, simexec.ErrTooLarge) {
-					continue // missing cell, like the paper's blanks
-				}
-				if err != nil {
-					return nil, fmt.Errorf("study: observing %s on %s: %w", key, cfg.Name, err)
-				}
-				obs[cfg.Name] = run.Seconds * opts.noise(key, cfg.Name)
-			}
-			res.Observed[key] = obs
-			opts.logf("observed %s on %d systems (base %.0f s)", key, len(obs), baseRun.Seconds)
+			cellJobs = append(cellJobs, cellJob{key: key, tc: tc, procs: procs})
 		}
+	}
+	slots := make([]cellOut, len(cellJobs))
+	err = forEachIndexed(ctx, len(cellJobs), opts.Workers, func(ctx context.Context, i int) error {
+		job := cellJobs[i]
+		key := job.key
+		app, err := job.tc.Instance(job.procs)
+		if err != nil {
+			return fmt.Errorf("study: %s: %w", key, err)
+		}
+
+		baseRun, err := simexec.ExecuteContext(ctx, execTarget(base), app)
+		if err != nil {
+			return fmt.Errorf("study: base run %s: %w", key, err)
+		}
+		out := cellOut{baseSeconds: baseRun.Seconds * opts.noise(key, base.Name)}
+
+		tr, err := trace.Collect(base, app)
+		if err != nil {
+			return fmt.Errorf("study: tracing %s: %w", key, err)
+		}
+		if opts.NoDependencyFlags {
+			for i := range tr.Blocks {
+				tr.Blocks[i].ILPLimited = false
+			}
+		}
+		out.tr = tr
+
+		out.obs = make(map[string]float64, len(targets))
+		for _, cfg := range targets {
+			run, err := simexec.ExecuteContext(ctx, execTarget(cfg), app)
+			if errors.Is(err, simexec.ErrTooLarge) {
+				continue // missing cell, like the paper's blanks
+			}
+			if err != nil {
+				return fmt.Errorf("study: observing %s on %s: %w", key, cfg.Name, err)
+			}
+			out.obs[cfg.Name] = run.Seconds * opts.noise(key, cfg.Name)
+		}
+		slots[i] = out
+		plog.logf("observed %s on %d systems (base %.0f s)", key, len(out.obs), baseRun.Seconds)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, job := range cellJobs {
+		res.BaseTimes[job.key] = slots[i].baseSeconds
+		res.Traces[job.key] = slots[i].tr
+		res.Observed[job.key] = slots[i].obs
 	}
 
 	// Stage 3: the 9 × 150 predictions.
 	basePr := res.Probes[res.BaseName]
 	for _, m := range metrics.All() {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("study: %w", err)
+		}
 		for _, key := range res.Cells {
 			for _, name := range res.TargetNames {
 				actual, ok := res.Observed[key][name]
@@ -255,14 +418,14 @@ func Run(opts Options) (*Results, error) {
 				})
 			}
 		}
-		opts.logf("metric %s done", m.Label())
+		plog.logf("metric %s done", m.Label())
 	}
 
 	// Stage 4: balanced rating (fixed and optimized weights).
 	if err := res.runBalanced(); err != nil {
 		return nil, err
 	}
-	opts.logf("balanced rating: fixed %.0f%%, optimized %.0f%% at weights %.2v",
+	plog.logf("balanced rating: fixed %.0f%%, optimized %.0f%% at weights %.2v",
 		res.Balanced.FixedSummary.MeanAbs, res.Balanced.OptSummary.MeanAbs, res.Balanced.OptWeights)
 
 	return res, nil

@@ -1,9 +1,24 @@
 package study
 
 import (
+	"context"
+	"errors"
 	"math"
+	"reflect"
+	"strings"
+	"sync"
 	"testing"
+	"time"
 )
+
+// sliceOptions is the 2-app × 2-machine study slice used by the -short
+// race path, the cancellation tests, and cmd/benchstudy.
+func sliceOptions() Options {
+	return Options{
+		Apps:    []string{"avus-standard", "rfcth-standard"},
+		Targets: []string{"ARL_Opteron", "MHPCC_P3"},
+	}
+}
 
 // The full study runs once per process via Shared(); every test here reads
 // from that single run. This is the repository's primary integration test:
@@ -210,6 +225,128 @@ func TestAggregationHelpers(t *testing.T) {
 	cell := res.CellSummary(cells[0], 9)
 	if cell.N == 0 {
 		t.Fatal("CellSummary empty")
+	}
+}
+
+// TestStudySliceShort runs the 2-machine × 2-app slice in every mode,
+// including -short: it is the fast path that keeps the parallel harness
+// (pool, slots, cancellation plumbing) exercised under `go test -race
+// -short ./...` without the full study's wall-clock.
+func TestStudySliceShort(t *testing.T) {
+	res, err := Run(sliceOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cells) != 6 {
+		t.Errorf("cells = %d, want 6 (2 test cases x 3 CPU counts)", len(res.Cells))
+	}
+	if len(res.TargetNames) != 2 {
+		t.Errorf("targets = %d, want 2", len(res.TargetNames))
+	}
+	if len(res.Probes) != 3 {
+		t.Errorf("probe suites = %d, want 3 (base + 2 targets)", len(res.Probes))
+	}
+	obs := res.ObservationCount()
+	if got, want := len(res.Predictions), 9*obs; got != want {
+		t.Errorf("predictions = %d, want %d (9 x observations)", got, want)
+	}
+	for _, p := range res.Predictions {
+		if p.Predicted <= 0 || math.IsNaN(p.Predicted) || math.IsInf(p.Predicted, 0) {
+			t.Fatalf("bad prediction %+v", p)
+		}
+	}
+}
+
+// TestParallelMatchesSequential pins the harness's determinism contract:
+// a single-worker run and a parallel run of the same slice are deeply
+// identical, so the Table 4 bytes cannot depend on scheduling.
+func TestParallelMatchesSequential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the slice study twice")
+	}
+	seq := sliceOptions()
+	seq.Workers = 1
+	par := sliceOptions()
+	par.Workers = 4
+
+	seqRes, err := Run(seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parRes, err := Run(par)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seqRes.Predictions, parRes.Predictions) {
+		t.Error("Predictions differ between Workers=1 and Workers=4")
+	}
+	if !reflect.DeepEqual(seqRes.BaseTimes, parRes.BaseTimes) {
+		t.Error("BaseTimes differ between Workers=1 and Workers=4")
+	}
+	if !reflect.DeepEqual(seqRes.Observed, parRes.Observed) {
+		t.Error("Observed differ between Workers=1 and Workers=4")
+	}
+	if !reflect.DeepEqual(seqRes.Balanced, parRes.Balanced) {
+		t.Error("Balanced rating differs between Workers=1 and Workers=4")
+	}
+}
+
+func TestRunContextPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := RunContext(ctx, sliceOptions())
+	if res != nil {
+		t.Error("cancelled study returned results")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// cancelOnObserve cancels the study from inside its own progress stream,
+// as soon as the first cell completes — a deterministic mid-study cancel.
+type cancelOnObserve struct {
+	mu     sync.Mutex
+	cancel context.CancelFunc
+}
+
+func (c *cancelOnObserve) Write(p []byte) (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if strings.Contains(string(p), "observed ") {
+		c.cancel()
+	}
+	return len(p), nil
+}
+
+func TestRunContextCancelMidStudy(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	opts := sliceOptions()
+	sink := &cancelOnObserve{cancel: cancel}
+	opts.Progress = sink
+
+	start := time.Now()
+	res, err := RunContext(ctx, opts)
+	if res != nil {
+		t.Error("cancelled study returned results")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// Promptness: the harness must abandon the remaining five cells, not
+	// finish them. One cell of this slice simulates in a few seconds, so
+	// well under the cost of the full slice is a safe bound.
+	if elapsed := time.Since(start); elapsed > 2*time.Minute {
+		t.Errorf("cancelled study took %v; cancellation is not prompt", elapsed)
+	}
+}
+
+func TestUnknownTargetRejected(t *testing.T) {
+	opts := sliceOptions()
+	opts.Targets = []string{"NO_SUCH_MACHINE"}
+	if _, err := Run(opts); err == nil {
+		t.Fatal("unknown target name accepted")
 	}
 }
 

@@ -17,6 +17,9 @@ var updateGolden = flag.Bool("update", false, "rewrite golden files from the cur
 // study's internals do not data-race with themselves through the shared
 // cache.
 func TestSharedStudyConcurrent(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full study skipped in -short mode; internal/study's slice tests cover the parallel harness")
+	}
 	const callers = 8
 	var (
 		wg      sync.WaitGroup
@@ -51,6 +54,9 @@ func TestSharedStudyConcurrent(t *testing.T) {
 // the report, study, or simulation layers that silently changes these
 // numbers fails here. Regenerate deliberately with: go test -run Golden -update .
 func TestTable4CSVGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full study skipped in -short mode")
+	}
 	res, err := hpcmetrics.SharedStudy()
 	if err != nil {
 		t.Fatal(err)
