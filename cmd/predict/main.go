@@ -9,6 +9,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -36,7 +37,8 @@ func main() {
 	tc, err := hpcmetrics.LookupTestCase(*appName, *caseName)
 	check(err)
 	if *procs == 0 {
-		*procs = tc.CPUCounts[1]
+		*procs, err = tc.DefaultProcs()
+		check(err)
 	}
 	app, err := tc.Instance(*procs)
 	check(err)
@@ -71,10 +73,8 @@ func main() {
 		check(err)
 	}
 
-	var actual float64
-	if run, err := hpcmetrics.Execute(targetCfg, app); err == nil {
-		actual = run.Seconds
-	}
+	actual, fits, err := observeTarget(targetCfg, app)
+	check(err)
 
 	fmt.Printf("%s at %d CPUs: base (%s) observed %.0f s\n",
 		tc.ID(), *procs, base.Name, baseRun.Seconds)
@@ -92,16 +92,31 @@ func main() {
 		check(err)
 		fmt.Printf("metric %-4s %-20s predicts %8.0f s on %s",
 			m.Label(), m.Name, pred, targetCfg.Name)
-		if actual > 0 {
+		if fits {
 			fmt.Printf("  (observed %.0f s, error %+.0f%%)",
 				actual, hpcmetrics.SignedError(pred, actual))
 		}
 		fmt.Println()
 	}
-	if actual == 0 {
+	if !fits {
 		fmt.Printf("(job does not fit on %s's %d processors; no observed time)\n",
 			targetCfg.Name, targetCfg.TotalProcs)
 	}
+}
+
+// observeTarget runs the app on the target machine for ground truth. A
+// job too large for the machine is not a failure — there is simply no
+// observation, like the blank cells in the paper's appendix — but every
+// other execution error is real and must not be swallowed.
+func observeTarget(cfg *hpcmetrics.MachineConfig, app *hpcmetrics.App) (seconds float64, fits bool, err error) {
+	run, err := hpcmetrics.Execute(cfg, app)
+	if errors.Is(err, hpcmetrics.ErrJobTooLarge) {
+		return 0, false, nil
+	}
+	if err != nil {
+		return 0, false, err
+	}
+	return run.Seconds, true, nil
 }
 
 func check(err error) {

@@ -1,0 +1,70 @@
+package main
+
+import (
+	"testing"
+
+	"hpcmetrics"
+)
+
+// TestObserveTargetTooLarge: a job exceeding the machine's processor
+// count is a missing observation, not an error — the prediction still
+// prints, just without a ground-truth comparison.
+func TestObserveTargetTooLarge(t *testing.T) {
+	cfg := hpcmetrics.Machine(hpcmetrics.ARLOpteron)
+	tc, err := hpcmetrics.LookupTestCase("avus", "standard")
+	if err != nil {
+		t.Fatal(err)
+	}
+	app, err := tc.Instance(cfg.TotalProcs + 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seconds, fits, err := observeTarget(cfg, app)
+	if err != nil {
+		t.Fatalf("too-large job reported as error: %v", err)
+	}
+	if fits || seconds != 0 {
+		t.Fatalf("too-large job observed: fits=%v seconds=%g", fits, seconds)
+	}
+}
+
+// TestObserveTargetRealError is the regression test for the discarded
+// Execute error: any failure other than a too-large job must surface,
+// not silently leave the observation at zero.
+func TestObserveTargetRealError(t *testing.T) {
+	tc, err := hpcmetrics.LookupTestCase("avus", "standard")
+	if err != nil {
+		t.Fatal(err)
+	}
+	app, err := tc.Instance(32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := &hpcmetrics.MachineConfig{} // fails validation inside Execute
+	if _, _, err := observeTarget(bad, app); err == nil {
+		t.Fatal("execution failure swallowed")
+	}
+}
+
+// TestObserveTargetFits: a job that fits returns its observed time.
+func TestObserveTargetFits(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a full-fidelity execution")
+	}
+	cfg := hpcmetrics.Machine(hpcmetrics.ARLOpteron)
+	tc, err := hpcmetrics.LookupTestCase("rfcth", "standard")
+	if err != nil {
+		t.Fatal(err)
+	}
+	app, err := tc.Instance(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seconds, fits, err := observeTarget(cfg, app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fits || seconds <= 0 {
+		t.Fatalf("fitting job not observed: fits=%v seconds=%g", fits, seconds)
+	}
+}

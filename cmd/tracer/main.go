@@ -40,7 +40,11 @@ func main() {
 		os.Exit(1)
 	}
 	if *procs == 0 {
-		*procs = tc.CPUCounts[1]
+		*procs, err = tc.DefaultProcs()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tracer:", err)
+			os.Exit(1)
+		}
 	}
 	app, err := tc.Instance(*procs)
 	if err != nil {

@@ -119,6 +119,12 @@ func TestCases() []AppTestCase { return apps.Registry() }
 // ("standard", "large"; empty matches the first).
 func LookupTestCase(name, caseName string) (AppTestCase, error) { return apps.Lookup(name, caseName) }
 
+// ErrJobTooLarge reports that an application instance needs more
+// processors than the target machine has. The study records such cells
+// as missing — test with errors.Is to distinguish "no observation" from
+// a real execution failure.
+var ErrJobTooLarge = simexec.ErrTooLarge
+
 // Execute runs an application on a machine at full model fidelity,
 // producing the observed time-to-solution.
 func Execute(cfg *MachineConfig, app *App) (*RunResult, error) { return simexec.Execute(cfg, app) }

@@ -1,0 +1,253 @@
+// Call-graph construction and context-fact propagation for the
+// interprocedural half of the concurrency analyzers.
+//
+// The graph is deliberately package-local: every *ast.CallExpr whose
+// callee resolves (through go/types) to a FuncDecl of the same package —
+// plain functions, methods on named receivers, and method expressions —
+// becomes an edge. Calls into other packages, calls through function
+// values, and calls of parameters stay outside the graph and are treated
+// conservatively by the fact propagation below.
+package cflite
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CtxArgKind classifies the context argument of one resolved call.
+type CtxArgKind int
+
+const (
+	// CtxArgNone: the call passes no context-typed argument.
+	CtxArgNone CtxArgKind = iota
+	// CtxArgBackground: the call mints a fresh root context in place —
+	// a direct context.Background() or context.TODO() argument — which
+	// severs the caller's cancellation chain.
+	CtxArgBackground
+	// CtxArgLive: the call passes some live context value (a parameter,
+	// a derived context, a field).
+	CtxArgLive
+)
+
+// CallSite is one resolved same-package call.
+type CallSite struct {
+	// Call is the syntax of the call.
+	Call *ast.CallExpr
+	// Callee is the called function's node.
+	Callee *FuncNode
+	// CtxArg classifies the context argument the call passes, if any.
+	CtxArg CtxArgKind
+}
+
+// FuncNode is one declared function of the package with its direct
+// (intra-procedural) observations and, after Propagate, its
+// interprocedural facts.
+type FuncNode struct {
+	// Decl is the function's declaration (Body may be nil for
+	// assembly-backed declarations; such nodes carry no direct facts).
+	Decl *ast.FuncDecl
+	// Obj is the *types.Func object from the type-checker's Defs map.
+	Obj types.Object
+	// Calls lists the same-package calls made anywhere in the body,
+	// including inside function literals and go/defer statements.
+	Calls []CallSite
+
+	// CtxParams names the declaration's context.Context parameters.
+	CtxParams []string
+	// Spawns: the body contains a go statement.
+	Spawns bool
+	// Unbounded: the body contains a structurally unbounded for loop.
+	Unbounded bool
+	// ConsultsDirect: the body calls Done/Err/Deadline/Value on a
+	// context-typed expression.
+	ConsultsDirect bool
+	// ForwardsLive: the body passes a live (non-minted) context as an
+	// argument to any call, in or out of the graph.
+	ForwardsLive bool
+	// forwardsOutside: a live context leaves the graph (unknown callee);
+	// the propagation assumes the recipient consults it.
+	forwardsOutside bool
+
+	// Requires is set by Propagate: executing this function may spawn a
+	// goroutine or loop unboundedly, directly or via any callee, so
+	// cancellation must be wired through it.
+	Requires bool
+	// RequiresVia is the callee through which a purely transitive
+	// requirement first arrived (nil when the requirement is direct).
+	RequiresVia *FuncNode
+	// Consults is set by Propagate: the function consults a context
+	// directly, or passes one to a callee that (transitively) does, or
+	// passes one outside the graph (assumed consulted).
+	Consults bool
+}
+
+// Name returns the declared function name.
+func (n *FuncNode) Name() string { return n.Decl.Name.Name }
+
+// Direct reports whether the node's cancellation requirement is its own
+// (a spawn or unbounded loop in its body) rather than inherited.
+func (n *FuncNode) Direct() bool { return n.Spawns || n.Unbounded }
+
+// CallGraph is the package-local call graph.
+type CallGraph struct {
+	// Nodes holds every declared function in file/declaration order.
+	Nodes []*FuncNode
+
+	byObj map[types.Object]*FuncNode
+}
+
+// NodeFor returns the node declaring obj, or nil.
+func (g *CallGraph) NodeFor(obj types.Object) *FuncNode { return g.byObj[obj] }
+
+// BuildCallGraph constructs the package-local call graph over files and
+// records each function's direct observations. Call Propagate afterwards
+// to compute the interprocedural Requires/Consults facts.
+func BuildCallGraph(info *types.Info, files []*ast.File) *CallGraph {
+	g := &CallGraph{byObj: map[types.Object]*FuncNode{}}
+	for _, f := range files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			node := &FuncNode{Decl: fd, Obj: info.Defs[fd.Name]}
+			g.Nodes = append(g.Nodes, node)
+			if node.Obj != nil {
+				g.byObj[node.Obj] = node
+			}
+		}
+	}
+	for _, n := range g.Nodes {
+		g.observe(info, n)
+	}
+	return g
+}
+
+// observe records one function's direct facts and resolved call sites.
+func (g *CallGraph) observe(info *types.Info, n *FuncNode) {
+	n.CtxParams = CtxParams(info, n.Decl.Type)
+	if n.Decl.Body == nil {
+		return
+	}
+	ast.Inspect(n.Decl.Body, func(node ast.Node) bool {
+		switch node := node.(type) {
+		case *ast.GoStmt:
+			n.Spawns = true
+		case *ast.ForStmt:
+			if Unbounded(node) {
+				n.Unbounded = true
+			}
+		case *ast.CallExpr:
+			g.observeCall(info, n, node)
+		}
+		return true
+	})
+}
+
+func (g *CallGraph) observeCall(info *types.Info, n *FuncNode, call *ast.CallExpr) {
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		switch sel.Sel.Name {
+		case "Done", "Err", "Deadline", "Value":
+			if IsContext(info.TypeOf(sel.X)) {
+				n.ConsultsDirect = true
+			}
+		}
+	}
+	arg := ctxArgKind(info, call)
+	callee := g.byObj[calleeObject(info, call)]
+	if arg == CtxArgLive {
+		n.ForwardsLive = true
+		if callee == nil {
+			n.forwardsOutside = true
+		}
+	}
+	if callee != nil {
+		n.Calls = append(n.Calls, CallSite{Call: call, Callee: callee, CtxArg: arg})
+	}
+}
+
+// calleeObject resolves a call's target to the function object it names,
+// or nil for calls through values the type-checker cannot pin to one
+// declaration (function-typed variables, parameters, interface methods
+// from other packages).
+func calleeObject(info *types.Info, call *ast.CallExpr) types.Object {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return info.Uses[fun]
+	case *ast.SelectorExpr:
+		// Covers x.m() on named receivers and T.m method expressions:
+		// Uses maps the selected identifier to the *types.Func.
+		return info.Uses[fun.Sel]
+	}
+	return nil
+}
+
+// ctxArgKind classifies the context argument a call passes.
+func ctxArgKind(info *types.Info, call *ast.CallExpr) CtxArgKind {
+	kind := CtxArgNone
+	for _, arg := range call.Args {
+		if !IsContext(info.TypeOf(arg)) {
+			continue
+		}
+		if mintsContext(info, arg) {
+			if kind == CtxArgNone {
+				kind = CtxArgBackground
+			}
+			continue
+		}
+		return CtxArgLive
+	}
+	return kind
+}
+
+// mintsContext reports whether e is a direct context.Background() or
+// context.TODO() call.
+func mintsContext(info *types.Info, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	obj := calleeObject(info, call)
+	if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "context" {
+		return false
+	}
+	return obj.Name() == "Background" || obj.Name() == "TODO"
+}
+
+// Propagate iterates the per-function facts to a fixed point:
+//
+//   - Requires(f) = f spawns or loops unboundedly, or any callee of f
+//     requires a context (the transitive closure over all same-package
+//     call edges, whatever arguments the calls pass).
+//   - Consults(f) = f consults a context directly, or passes a live
+//     context to a callee that consults, or passes a live context
+//     outside the graph (assumed consulted).
+//
+// Both facts are monotone over a finite domain, so iteration terminates.
+func (g *CallGraph) Propagate() {
+	for changed := true; changed; {
+		changed = false
+		for _, n := range g.Nodes {
+			if !n.Requires && n.Direct() {
+				n.Requires = true
+				changed = true
+			}
+			consults := n.ConsultsDirect || n.forwardsOutside
+			for i := range n.Calls {
+				cs := &n.Calls[i]
+				if !n.Requires && cs.Callee.Requires {
+					n.Requires = true
+					n.RequiresVia = cs.Callee
+					changed = true
+				}
+				if cs.CtxArg == CtxArgLive && cs.Callee.Consults {
+					consults = true
+				}
+			}
+			if consults && !n.Consults {
+				n.Consults = true
+				changed = true
+			}
+		}
+	}
+}

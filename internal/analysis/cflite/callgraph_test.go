@@ -1,0 +1,190 @@
+package cflite
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"hpcmetrics/internal/analysis/load"
+)
+
+// buildGraph type-checks one source file as package p (through the same
+// stdlib-only loader the analyzers use) and returns its propagated call
+// graph.
+func buildGraph(t *testing.T, src string) *CallGraph {
+	t.Helper()
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "p.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := load.New().LoadAs(dir, "p")
+	if err != nil {
+		t.Fatalf("type-checking fixture: %v", err)
+	}
+	g := BuildCallGraph(pkg.Info, pkg.Syntax)
+	g.Propagate()
+	return g
+}
+
+func node(t *testing.T, g *CallGraph, name string) *FuncNode {
+	t.Helper()
+	for _, n := range g.Nodes {
+		if n.Name() == name {
+			return n
+		}
+	}
+	t.Fatalf("no node %q in graph", name)
+	return nil
+}
+
+const graphSrc = `package p
+
+import "context"
+
+func worker(ctx context.Context) {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		<-ctx.Done()
+	}()
+	<-done
+}
+
+func forwards(ctx context.Context) { worker(ctx) }
+
+func mints(ctx context.Context) { forwards(context.Background()) }
+
+func entry() { forwards(context.TODO()) }
+
+func deadEnd(ctx context.Context) {}
+
+func passesToDeadEnd(ctx context.Context) { deadEnd(ctx) }
+
+func escapes(ctx context.Context) { context.WithValue(ctx, "k", 1) }
+
+type runner struct{ n int }
+
+func (r *runner) dispatch(ctx context.Context) { worker(ctx) }
+
+func viaMethod(ctx context.Context, r *runner) { r.dispatch(context.Background()) }
+
+func leaf() int { return 1 }
+
+func callsLeaf() int { return leaf() }
+`
+
+func TestCallGraphResolution(t *testing.T) {
+	g := buildGraph(t, graphSrc)
+
+	cases := []struct {
+		caller, callee string
+		arg            CtxArgKind
+	}{
+		{"forwards", "worker", CtxArgLive},
+		{"mints", "forwards", CtxArgBackground},
+		{"entry", "forwards", CtxArgBackground},
+		{"passesToDeadEnd", "deadEnd", CtxArgLive},
+		{"viaMethod", "dispatch", CtxArgBackground}, // method on a named receiver
+		{"callsLeaf", "leaf", CtxArgNone},
+	}
+	for _, c := range cases {
+		n := node(t, g, c.caller)
+		found := false
+		for _, cs := range n.Calls {
+			if cs.Callee.Name() == c.callee {
+				found = true
+				if cs.CtxArg != c.arg {
+					t.Errorf("%s -> %s: CtxArg = %v, want %v", c.caller, c.callee, cs.CtxArg, c.arg)
+				}
+			}
+		}
+		if !found {
+			t.Errorf("%s -> %s: edge not resolved", c.caller, c.callee)
+		}
+	}
+}
+
+func TestCallGraphRequiresPropagation(t *testing.T) {
+	g := buildGraph(t, graphSrc)
+
+	requires := map[string]bool{
+		"worker":          true, // direct spawn
+		"forwards":        true, // via worker
+		"mints":           true, // via forwards
+		"entry":           true,
+		"dispatch":        true,
+		"viaMethod":       true,
+		"deadEnd":         false,
+		"passesToDeadEnd": false,
+		"leaf":            false,
+		"callsLeaf":       false,
+	}
+	for name, want := range requires {
+		if got := node(t, g, name).Requires; got != want {
+			t.Errorf("Requires(%s) = %v, want %v", name, got, want)
+		}
+	}
+	if n := node(t, g, "worker"); !n.Direct() || n.RequiresVia != nil {
+		t.Errorf("worker: Direct=%v RequiresVia=%v, want direct requirement", n.Direct(), n.RequiresVia)
+	}
+	if n := node(t, g, "forwards"); n.Direct() || n.RequiresVia == nil || n.RequiresVia.Name() != "worker" {
+		t.Errorf("forwards: requirement should arrive via worker, got Direct=%v Via=%v", n.Direct(), n.RequiresVia)
+	}
+	if n := node(t, g, "mints"); n.RequiresVia == nil || n.RequiresVia.Name() != "forwards" {
+		t.Errorf("mints: requirement should arrive via forwards")
+	}
+}
+
+func TestCallGraphConsultsPropagation(t *testing.T) {
+	g := buildGraph(t, graphSrc)
+
+	consults := map[string]bool{
+		"worker":          true,  // <-ctx.Done() directly
+		"forwards":        true,  // passes a live ctx to a consulting callee
+		"mints":           false, // only mints Background; its own ctx goes nowhere
+		"deadEnd":         false,
+		"passesToDeadEnd": false, // live ctx reaches only a non-consulting callee
+		"escapes":         true,  // live ctx leaves the graph: assumed consulted
+		"dispatch":        true,
+		"viaMethod":       false,
+	}
+	for name, want := range consults {
+		if got := node(t, g, name).Consults; got != want {
+			t.Errorf("Consults(%s) = %v, want %v", name, got, want)
+		}
+	}
+}
+
+func TestCallGraphDirectObservations(t *testing.T) {
+	g := buildGraph(t, `package p
+
+import "context"
+
+func spins(ctx context.Context) {
+	for {
+		if ctx.Err() != nil {
+			return
+		}
+	}
+}
+
+func bounded(xs []int) int {
+	s := 0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+`)
+	spins := node(t, g, "spins")
+	if !spins.Unbounded || spins.Spawns || !spins.ConsultsDirect {
+		t.Errorf("spins: Unbounded=%v Spawns=%v ConsultsDirect=%v", spins.Unbounded, spins.Spawns, spins.ConsultsDirect)
+	}
+	if len(spins.CtxParams) != 1 || spins.CtxParams[0] != "ctx" {
+		t.Errorf("spins: CtxParams = %v", spins.CtxParams)
+	}
+	b := node(t, g, "bounded")
+	if b.Unbounded || b.Requires || b.Consults {
+		t.Errorf("bounded: Unbounded=%v Requires=%v Consults=%v", b.Unbounded, b.Requires, b.Consults)
+	}
+}

@@ -3,19 +3,34 @@
 //
 // The harness fans the 1,350-prediction grid out over a worker pool; a
 // goroutine or unbounded loop there that cannot be cancelled turns every
-// caller timeout into a leak and every test failure into a hang. Two
-// rules:
+// caller timeout into a leak and every test failure into a hang. The
+// analysis is interprocedural within a package: a call graph (built by
+// internal/analysis/cflite) propagates two facts to a fixed point —
+// "requires ctx" (spawns a goroutine or loops unboundedly, directly or
+// via any callee) and "consults ctx" (calls Done/Err/Deadline/Value, or
+// passes a live ctx to a callee that does). Five rules:
 //
-//  1. A function that spawns a goroutine or contains an unbounded loop
-//     (`for {}` / `for cond {}`) must accept a context.Context, and its
-//     body must consult it — select on ctx.Done() or check ctx.Err().
+//  1. A function that directly spawns a goroutine or contains an
+//     unbounded loop (`for {}` / `for cond {}`) must accept a
+//     context.Context and consult it — where passing ctx to a
+//     same-package helper only counts if that helper (transitively)
+//     consults it.
 //  2. A goroutine whose function literal captures a context.Context but
-//     never consults it (no Done/Err/Deadline/Value call, never passed
-//     on) is flagged: the capture suggests cancellation was intended and
-//     then dropped.
+//     never consults it is flagged: the capture suggests cancellation
+//     was intended and then dropped.
+//  3. A ctx-taking function that invokes a ctx-requiring callee with a
+//     freshly minted context.Background()/context.TODO() is flagged at
+//     the call site: the caller's cancellation chain is severed there.
+//  4. A ctx-taking function that calls a callee which transitively
+//     requires a context but accepts none is flagged at the call site:
+//     the caller's ctx is dropped on the floor because the callee offers
+//     nowhere to thread it.
+//  5. A helper that receives a ctx, never consults it, and passes it
+//     nowhere is flagged at its declaration: the parameter is dead.
 //
-// Spawns that delegate by passing ctx to a named function (`go worker(ctx,
-// ...)`) satisfy both rules; cancellation handling moves callee-side.
+// Functions without a ctx parameter may mint context.Background() —
+// that is the blessed entry-point shape (study.Run, simexec.Execute):
+// every cancellation chain has to be rooted somewhere.
 package ctxflow
 
 import (
@@ -30,8 +45,10 @@ import (
 var Analyzer = &framework.Analyzer{
 	Name: "ctxflow",
 	Doc: "requires functions in internal/study and internal/simexec that spawn goroutines " +
-		"or loop unboundedly to accept a context.Context and consult ctx.Done()/ctx.Err(); " +
-		"flags goroutines that capture a ctx without consulting it",
+		"or loop unboundedly (directly or via same-package callees) to accept a context.Context " +
+		"and consult it; flags call sites that sever cancellation with context.Background()/TODO() " +
+		"or drop it into ctx-less callees, goroutines that capture a ctx without consulting it, " +
+		"and dead ctx parameters",
 	Run: run,
 }
 
@@ -41,50 +58,97 @@ func scoped(pkgPath string) bool {
 		strings.Contains(pkgPath, "internal/simexec")
 }
 
+// graphKey keys the propagated call graph in the pass's fact store, so a
+// future analyzer interested in the same facts shares one computation.
+type graphKey struct{}
+
 func run(pass *framework.Pass) error {
 	if !scoped(pass.Pkg.Path()) {
 		return nil
 	}
-	for _, f := range pass.Syntax {
-		for _, decl := range f.Decls {
-			fd, ok := decl.(*ast.FuncDecl)
-			if !ok || fd.Body == nil {
-				continue
-			}
-			checkDecl(pass, fd)
+	graph := pass.Fact(graphKey{}, func() any {
+		g := cflite.BuildCallGraph(pass.Info, pass.Syntax)
+		g.Propagate()
+		return g
+	}).(*cflite.CallGraph)
+
+	for _, node := range graph.Nodes {
+		if node.Decl.Body == nil {
+			continue
 		}
+		checkDecl(pass, node)
+		checkCallSites(pass, node)
+		ast.Inspect(node.Decl.Body, func(n ast.Node) bool {
+			if g, ok := n.(*ast.GoStmt); ok {
+				checkSpawn(pass, g)
+			}
+			return true
+		})
 	}
 	return nil
 }
 
-func checkDecl(pass *framework.Pass, fd *ast.FuncDecl) {
-	spawns, unbounded := false, false
-	ast.Inspect(fd.Body, func(n ast.Node) bool {
-		switch n := n.(type) {
-		case *ast.GoStmt:
-			spawns = true
-			checkSpawn(pass, n)
-		case *ast.ForStmt:
-			if cflite.Unbounded(n) {
-				unbounded = true
-			}
+// checkDecl applies the declaration rules (1 and 5) to one function.
+func checkDecl(pass *framework.Pass, node *cflite.FuncNode) {
+	name := node.Name()
+	if node.Direct() {
+		what := "spawns a goroutine"
+		if !node.Spawns {
+			what = "contains an unbounded loop"
 		}
-		return true
-	})
-	if !spawns && !unbounded {
+		if len(node.CtxParams) == 0 {
+			pass.Reportf(node.Decl.Pos(), "%s %s but takes no context.Context; accept a ctx and select on ctx.Done()", name, what)
+			return
+		}
+		if !node.Consults {
+			pass.Reportf(node.Decl.Pos(), "%s %s and takes a context.Context but never consults it (nor passes it to a callee that does); select on ctx.Done() or check ctx.Err()", name, what)
+		}
 		return
 	}
-	what := "spawns a goroutine"
-	if !spawns {
-		what = "contains an unbounded loop"
+	// Rule 5: a dead ctx parameter on a helper. ForwardsLive covers any
+	// live pass, in or out of the graph — a helper that hands its ctx to
+	// a non-consulting sibling is not flagged here; the sibling is.
+	if len(node.CtxParams) > 0 && !node.ConsultsDirect && !node.ForwardsLive {
+		pass.Reportf(node.Decl.Pos(), "%s receives a context.Context but never consults it and passes it nowhere; drop the parameter or consult the ctx", name)
 	}
-	if len(cflite.CtxParams(pass.Info, fd.Type)) == 0 {
-		pass.Reportf(fd.Pos(), "%s %s but takes no context.Context; accept a ctx and select on ctx.Done()", fd.Name.Name, what)
-		return
+}
+
+// checkCallSites applies the call-site rules (3 and 4) inside one
+// ctx-taking function.
+func checkCallSites(pass *framework.Pass, node *cflite.FuncNode) {
+	if len(node.CtxParams) == 0 {
+		return // minting a root context is the entry-point shape
 	}
-	if !consultsCtx(pass, fd.Body) {
-		pass.Reportf(fd.Pos(), "%s %s and takes a context.Context but never consults it; select on ctx.Done() or check ctx.Err()", fd.Name.Name, what)
+	for _, cs := range node.Calls {
+		if !cs.Callee.Requires {
+			continue
+		}
+		switch {
+		case cs.CtxArg == cflite.CtxArgBackground:
+			pass.Reportf(cs.Call.Pos(), "%s passes a fresh context.Background()/context.TODO() to %s, which %s; pass the incoming ctx so cancellation reaches it",
+				node.Name(), cs.Callee.Name(), describeRequirement(cs.Callee))
+		case cs.CtxArg == cflite.CtxArgNone && len(cs.Callee.CtxParams) == 0 && !cs.Callee.Direct():
+			// Direct spawners/loopers without a ctx param are already
+			// flagged at their own declaration by rule 1; flagging the
+			// call too would say the same thing twice.
+			pass.Reportf(cs.Call.Pos(), "%s drops its context calling %s, which %s but takes none; plumb the ctx through %s",
+				node.Name(), cs.Callee.Name(), describeRequirement(cs.Callee), cs.Callee.Name())
+		}
 	}
+}
+
+// describeRequirement says why the callee needs a context, naming the
+// transitive path's first hop when the requirement is inherited.
+func describeRequirement(n *cflite.FuncNode) string {
+	switch {
+	case n.Spawns:
+		return "spawns a goroutine"
+	case n.Unbounded:
+		return "contains an unbounded loop"
+	case n.RequiresVia != nil:
+		return "requires a context via " + n.RequiresVia.Name()
+	}
+	return "requires a context"
 }
 
 // checkSpawn applies rule 2 to one go statement: a spawned function
@@ -116,7 +180,9 @@ func referencesCtx(pass *framework.Pass, n ast.Node) bool {
 
 // consultsCtx reports whether n consults a context: calls Done, Err,
 // Deadline, or Value on a ctx-typed expression, or passes a ctx onward as
-// a call argument (delegating cancellation to the callee).
+// a call argument. It is the syntactic check used for goroutine literals
+// (rule 2), where any forwarding is accepted as delegation; declared
+// functions get the sharper interprocedural Consults fact instead.
 func consultsCtx(pass *framework.Pass, n ast.Node) bool {
 	found := false
 	ast.Inspect(n, func(n ast.Node) bool {

@@ -19,3 +19,23 @@ func execute(ctx context.Context, blocks []func()) error {
 	}
 	return nil
 }
+
+// spin is a cancellable busy-wait: unbounded, but consults its ctx.
+func spin(ctx context.Context) {
+	for {
+		if ctx.Err() != nil {
+			return
+		}
+	}
+}
+
+// runSpin severs the chain: its own ctx cannot stop the spin.
+func runSpin(ctx context.Context) error {
+	spin(context.Background()) // want `runSpin passes a fresh context.Background\(\)/context.TODO\(\) to spin, which contains an unbounded loop`
+	return ctx.Err()
+}
+
+// executeFresh is the entry-point shape: no ctx of its own to drop.
+func executeFresh(blocks []func()) error {
+	return execute(context.Background(), blocks)
+}

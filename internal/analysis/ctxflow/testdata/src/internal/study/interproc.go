@@ -1,0 +1,82 @@
+// Interprocedural fixtures: requirements and consultation propagate
+// through the package-local call graph, so cancellation dropped at a
+// call site — not just at a declaration — is flagged.
+package study
+
+import "context"
+
+// spawnWorker is the blessed helper: takes ctx, spawns, consults.
+func spawnWorker(ctx context.Context) {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		<-ctx.Done()
+	}()
+	<-done
+}
+
+// dispatchBackground severs its caller's cancellation chain: the helper
+// it dispatches can never be cancelled through dispatchBackground's ctx.
+func dispatchBackground(ctx context.Context) error {
+	spawnWorker(context.Background()) // want `dispatchBackground passes a fresh context.Background\(\)/context.TODO\(\) to spawnWorker, which spawns a goroutine`
+	return ctx.Err()
+}
+
+// mid merely forwards; the requirement propagates through it.
+func mid(ctx context.Context) { spawnWorker(ctx) }
+
+// outerTODO drops cancellation two hops from the goroutine: the
+// requirement reaches it through mid's fact, not mid's body.
+func outerTODO(ctx context.Context) error {
+	mid(context.TODO()) // want `outerTODO passes a fresh context.Background\(\)/context.TODO\(\) to mid, which requires a context via spawnWorker`
+	return ctx.Err()
+}
+
+// runEntry has no ctx of its own: minting the root context here is the
+// blessed entry-point shape (study.Run does exactly this). No diagnostic.
+func runEntry() {
+	mid(context.Background())
+}
+
+// orphan requires a context via spawnWorker but offers nowhere to thread
+// one. It is not flagged at its own declaration (the spawn is not its
+// own), but every ctx-taking caller is flagged for dropping its ctx here.
+func orphan() { spawnWorker(context.Background()) }
+
+func dropsCtx(ctx context.Context) error {
+	orphan() // want `dropsCtx drops its context calling orphan, which requires a context via spawnWorker but takes none; plumb the ctx through orphan`
+	return ctx.Err()
+}
+
+// sink ignores its ctx entirely: a dead parameter.
+func sink(ctx context.Context, n int) int { // want `sink receives a context.Context but never consults it and passes it nowhere`
+	return n * 2
+}
+
+// loopsPassingToSink would have passed the old one-function analysis:
+// it hands ctx to a callee, but the callee never consults it, so the
+// unbounded loop still has no cancellation point.
+func loopsPassingToSink(ctx context.Context, n int) int { // want `loopsPassingToSink contains an unbounded loop and takes a context.Context but never consults it`
+	i := 0
+	for i < n {
+		i += sink(ctx, 1)
+	}
+	return i
+}
+
+// dispatcher carries the pool through a named receiver; method calls
+// resolve in the call graph like plain functions.
+type dispatcher struct{ workers int }
+
+func (d *dispatcher) launch(ctx context.Context) { spawnWorker(ctx) }
+
+func methodBackground(ctx context.Context, d *dispatcher) error {
+	d.launch(context.Background()) // want `methodBackground passes a fresh context.Background\(\)/context.TODO\(\) to launch, which requires a context via spawnWorker`
+	return ctx.Err()
+}
+
+// methodForwards is the clean shape: the receiver's method gets the
+// caller's own ctx.
+func methodForwards(ctx context.Context, d *dispatcher) {
+	d.launch(ctx)
+}

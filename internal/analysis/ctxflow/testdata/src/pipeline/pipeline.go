@@ -2,6 +2,8 @@
 // the same shapes draw no ctxflow diagnostics here.
 package pipeline
 
+import "context"
+
 func spawnNoCtx() {
 	done := make(chan struct{})
 	go func() {
@@ -16,4 +18,20 @@ func loopNoCtx(n int) int {
 		i++
 	}
 	return i
+}
+
+// The interprocedural rules are scope-gated too: this Background drop
+// would be flagged inside internal/study, but not here.
+func spawner(ctx context.Context) {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		<-ctx.Done()
+	}()
+	<-done
+}
+
+func dropsBackground(ctx context.Context) error {
+	spawner(context.Background())
+	return ctx.Err()
 }

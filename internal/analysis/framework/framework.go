@@ -40,7 +40,32 @@ type Pass struct {
 	Pkg      *types.Package
 	Info     *types.Info
 
+	facts *FactStore
 	diags *[]Diagnostic
+}
+
+// FactStore is a per-package key/value store shared by every analyzer
+// pass over that package: expensive derived structures (a call graph,
+// propagated facts) are computed once and reused by later passes.
+type FactStore struct {
+	m map[any]any
+}
+
+// Fact returns the fact stored under key, computing and caching it with
+// compute on first use. The key should be an analyzer-private type (as
+// with context.Context values) so analyzers cannot collide.
+func (p *Pass) Fact(key any, compute func() any) any {
+	if p.facts == nil {
+		// A pass constructed without a store (tests, ad-hoc drivers)
+		// still works; it just recomputes.
+		return compute()
+	}
+	if v, ok := p.facts.m[key]; ok {
+		return v
+	}
+	v := compute()
+	p.facts.m[key] = v
+	return v
 }
 
 // Reportf records a diagnostic at pos.
@@ -67,6 +92,7 @@ func (d Diagnostic) String() string {
 // surviving (non-suppressed) diagnostics in position order.
 func Run(pkg *load.Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 	var diags []Diagnostic
+	facts := &FactStore{m: map[any]any{}}
 	for _, a := range analyzers {
 		pass := &Pass{
 			Analyzer: a,
@@ -74,6 +100,7 @@ func Run(pkg *load.Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 			Syntax:   pkg.Syntax,
 			Pkg:      pkg.Types,
 			Info:     pkg.Info,
+			facts:    facts,
 			diags:    &diags,
 		}
 		if err := a.Run(pass); err != nil {

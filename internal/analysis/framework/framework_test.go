@@ -37,6 +37,47 @@ func TestParseIgnore(t *testing.T) {
 	}
 }
 
+// TestFactStoreSharedAcrossAnalyzers checks that facts computed by one
+// analyzer's pass are visible to later passes over the same package, and
+// that the compute function runs once per package, not once per analyzer.
+func TestFactStoreSharedAcrossAnalyzers(t *testing.T) {
+	type graphKey struct{}
+	computed := 0
+	mkAnalyzer := func(name string) *Analyzer {
+		return &Analyzer{
+			Name: name,
+			Doc:  "reads the shared fact",
+			Run: func(pass *Pass) error {
+				v := pass.Fact(graphKey{}, func() any {
+					computed++
+					return "the-graph"
+				})
+				if v != "the-graph" {
+					t.Errorf("%s: fact = %v, want the-graph", name, v)
+				}
+				return nil
+			},
+		}
+	}
+
+	pkg, err := load.New().LoadAs("testdata/src/supp", "supp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(pkg, []*Analyzer{mkAnalyzer("first"), mkAnalyzer("second")}); err != nil {
+		t.Fatal(err)
+	}
+	if computed != 1 {
+		t.Errorf("fact computed %d times, want 1 (shared across the package's passes)", computed)
+	}
+
+	// A pass without a store still works: Fact degrades to recomputing.
+	bare := &Pass{}
+	if v := bare.Fact(graphKey{}, func() any { return 7 }); v != 7 {
+		t.Errorf("storeless Fact = %v, want 7", v)
+	}
+}
+
 // TestSuppressionMatrix runs a toy analyzer (flag every call to trigger)
 // over the supp fixture and checks exactly which diagnostics survive the
 // //hpclint:ignore directives: trailing same-line, line-above, multiline

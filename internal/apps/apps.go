@@ -29,16 +29,27 @@ import (
 )
 
 // TestCase names an (application, case) pair and carries the processor
-// counts the paper ran it at.
+// counts the paper ran it at. CPUCounts is a slice rather than a fixed
+// array so custom test cases may register any number of counts.
 type TestCase struct {
 	Name      string
 	Case      string
-	CPUCounts [3]int
+	CPUCounts []int
 	build     func(procs int) *workload.App
 }
 
 // ID returns the "name-case" identifier.
 func (tc TestCase) ID() string { return tc.Name + "-" + tc.Case }
+
+// DefaultProcs picks the middle registered CPU count — the paper's usual
+// reporting point — whatever the list's length, and errors cleanly when a
+// test case registers none.
+func (tc TestCase) DefaultProcs() (int, error) {
+	if len(tc.CPUCounts) == 0 {
+		return 0, fmt.Errorf("apps: %s registers no CPU counts; pass -procs explicitly", tc.ID())
+	}
+	return tc.CPUCounts[len(tc.CPUCounts)/2], nil
+}
 
 // Instance builds the workload for the given processor count (which need
 // not be one of the paper's three).
@@ -72,23 +83,23 @@ func surface23(n float64) float64 { return math.Pow(n, 2.0/3.0) }
 func Registry() []TestCase {
 	return []TestCase{
 		{
-			Name: "avus", Case: "standard", CPUCounts: [3]int{32, 64, 128},
+			Name: "avus", Case: "standard", CPUCounts: []int{32, 64, 128},
 			build: func(p int) *workload.App { return buildAVUS("standard", 7_000_000, 100, p) },
 		},
 		{
-			Name: "avus", Case: "large", CPUCounts: [3]int{128, 256, 384},
+			Name: "avus", Case: "large", CPUCounts: []int{128, 256, 384},
 			build: func(p int) *workload.App { return buildAVUS("large", 24_000_000, 150, p) },
 		},
 		{
-			Name: "hycom", Case: "standard", CPUCounts: [3]int{59, 96, 124},
+			Name: "hycom", Case: "standard", CPUCounts: []int{59, 96, 124},
 			build: func(p int) *workload.App { return buildHYCOM(p) },
 		},
 		{
-			Name: "overflow2", Case: "standard", CPUCounts: [3]int{32, 48, 64},
+			Name: "overflow2", Case: "standard", CPUCounts: []int{32, 48, 64},
 			build: func(p int) *workload.App { return buildOVERFLOW2(p) },
 		},
 		{
-			Name: "rfcth", Case: "standard", CPUCounts: [3]int{16, 32, 64},
+			Name: "rfcth", Case: "standard", CPUCounts: []int{16, 32, 64},
 			build: func(p int) *workload.App { return buildRFCTH(p) },
 		},
 	}

@@ -1,6 +1,7 @@
 package apps
 
 import (
+	"reflect"
 	"testing"
 
 	"hpcmetrics/internal/access"
@@ -13,21 +14,49 @@ func TestRegistryMatchesPaper(t *testing.T) {
 	}
 	want := []struct {
 		id   string
-		cpus [3]int
+		cpus []int
 	}{
-		{"avus-standard", [3]int{32, 64, 128}},
-		{"avus-large", [3]int{128, 256, 384}},
-		{"hycom-standard", [3]int{59, 96, 124}},
-		{"overflow2-standard", [3]int{32, 48, 64}},
-		{"rfcth-standard", [3]int{16, 32, 64}},
+		{"avus-standard", []int{32, 64, 128}},
+		{"avus-large", []int{128, 256, 384}},
+		{"hycom-standard", []int{59, 96, 124}},
+		{"overflow2-standard", []int{32, 48, 64}},
+		{"rfcth-standard", []int{16, 32, 64}},
 	}
 	for i, w := range want {
 		if reg[i].ID() != w.id {
 			t.Errorf("case %d = %s, want %s", i, reg[i].ID(), w.id)
 		}
-		if reg[i].CPUCounts != w.cpus {
+		if !reflect.DeepEqual(reg[i].CPUCounts, w.cpus) {
 			t.Errorf("%s CPU counts = %v, want %v", w.id, reg[i].CPUCounts, w.cpus)
 		}
+	}
+}
+
+// TestDefaultProcs is a regression test: the old default-procs logic
+// indexed CPUCounts[1] unconditionally, which panics for a test case
+// registering fewer than two counts.
+func TestDefaultProcs(t *testing.T) {
+	cases := []struct {
+		cpus []int
+		want int
+	}{
+		{[]int{32, 64, 128}, 64},
+		{[]int{32, 64}, 64},
+		{[]int{32}, 32},
+	}
+	for _, c := range cases {
+		tc := TestCase{Name: "x", Case: "y", CPUCounts: c.cpus}
+		got, err := tc.DefaultProcs()
+		if err != nil {
+			t.Fatalf("CPUCounts %v: %v", c.cpus, err)
+		}
+		if got != c.want {
+			t.Errorf("CPUCounts %v: default %d, want %d", c.cpus, got, c.want)
+		}
+	}
+	empty := TestCase{Name: "x", Case: "y"}
+	if _, err := empty.DefaultProcs(); err == nil {
+		t.Fatal("empty CPUCounts accepted")
 	}
 }
 

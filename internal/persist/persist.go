@@ -7,8 +7,10 @@ package persist
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
+	"path/filepath"
 
 	"hpcmetrics/internal/probes"
 	"hpcmetrics/internal/trace"
@@ -39,10 +41,38 @@ func save(path, format string, payload any) error {
 	if err != nil {
 		return fmt.Errorf("persist: %w", err)
 	}
-	if err := os.WriteFile(path, append(out, '\n'), 0o644); err != nil {
+	if err := writeAtomic(path, append(out, '\n')); err != nil {
 		return fmt.Errorf("persist: %w", err)
 	}
 	return nil
+}
+
+// writeAtomic writes data to path via a temp file and rename: a reader
+// (or a crash mid write) sees either the old complete file or the new
+// complete file, never a truncated envelope. The temp file lives in the
+// destination directory so the rename stays on one filesystem.
+func writeAtomic(path string, data []byte) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	name := tmp.Name()
+	_, err = tmp.Write(data)
+	if cerr := tmp.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = os.Chmod(name, 0o644)
+	}
+	if err == nil {
+		err = os.Rename(name, path)
+	}
+	if err != nil {
+		if rerr := os.Remove(name); rerr != nil {
+			err = errors.Join(err, rerr)
+		}
+	}
+	return err
 }
 
 func load(path, format string, payload any) error {

@@ -155,3 +155,78 @@ func TestMissingFile(t *testing.T) {
 		t.Fatal("missing file accepted")
 	}
 }
+
+// TestTruncatedFileRejected simulates the failure the atomic save
+// prevents: a file cut off mid-write must be rejected with the
+// format-identifying error, not half-parsed.
+func TestTruncatedFileRejected(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.json")
+	if err := SaveTrace(path, sampleTrace()); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadTrace(path); err == nil {
+		t.Fatal("truncated file accepted")
+	} else if !strings.Contains(err.Error(), "is not a") {
+		t.Fatalf("truncation error should identify the format check: %v", err)
+	}
+}
+
+// TestSaveLeavesNoTempFiles: the rename consumes the temp file; failure
+// paths remove it. After a save the directory holds exactly the artifact.
+func TestSaveLeavesNoTempFiles(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "probes.json")
+	for i := 0; i < 3; i++ {
+		if err := SaveProbes(path, sampleProbes()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Name() != "probes.json" {
+		names := make([]string, len(entries))
+		for i, e := range entries {
+			names[i] = e.Name()
+		}
+		t.Fatalf("directory not clean after saves: %v", names)
+	}
+}
+
+// TestConcurrentSaveLoad: with write-then-rename, a reader racing a
+// writer sees a complete envelope on every read — never a partial file.
+func TestConcurrentSaveLoad(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.json")
+	tr := sampleTrace()
+	if err := SaveTrace(path, tr); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 200; i++ {
+			if err := SaveTrace(path, tr); err != nil {
+				t.Errorf("save %d: %v", i, err)
+				return
+			}
+		}
+	}()
+	for {
+		select {
+		case <-done:
+			return
+		default:
+		}
+		if _, err := LoadTrace(path); err != nil {
+			t.Fatalf("reader saw a partial file: %v", err)
+		}
+	}
+}

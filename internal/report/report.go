@@ -22,6 +22,18 @@ type Table struct {
 	Rows    [][]string
 }
 
+// normalized pads row with empty cells up to the table's column count.
+// Extra cells beyond the columns are kept: both renderers print ragged
+// rows rather than panic or silently drop data.
+func (t *Table) normalized(row []string) []string {
+	if len(row) >= len(t.Columns) {
+		return row
+	}
+	out := make([]string, len(t.Columns))
+	copy(out, row)
+	return out
+}
+
 // String renders the table with aligned columns.
 func (t *Table) String() string {
 	widths := make([]int, len(t.Columns))
@@ -44,7 +56,11 @@ func (t *Table) String() string {
 			if i > 0 {
 				b.WriteString("  ")
 			}
-			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+			if i < len(widths) {
+				fmt.Fprintf(&b, "%-*s", widths[i], cell)
+			} else {
+				b.WriteString(cell) // ragged extra: no column to align to
+			}
 		}
 		b.WriteByte('\n')
 	}
@@ -55,13 +71,14 @@ func (t *Table) String() string {
 	}
 	writeRow(rule)
 	for _, row := range t.Rows {
-		writeRow(row)
+		writeRow(t.normalized(row))
 	}
 	return b.String()
 }
 
 // CSV renders the table as comma-separated values (cells containing commas
-// or quotes are quoted).
+// or quotes are quoted). Rows narrower than the header are padded with
+// empty cells so every record has at least the header's field count.
 func (t *Table) CSV() string {
 	var b strings.Builder
 	writeRow := func(cells []string) {
@@ -78,7 +95,7 @@ func (t *Table) CSV() string {
 	}
 	writeRow(t.Columns)
 	for _, row := range t.Rows {
-		writeRow(row)
+		writeRow(t.normalized(row))
 	}
 	return b.String()
 }

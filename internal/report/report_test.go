@@ -74,6 +74,31 @@ func TestTableString(t *testing.T) {
 	}
 }
 
+// TestTableRaggedRows is a regression test: a row with more cells than
+// columns used to panic String() with index out of range, and CSV emitted
+// records narrower than the header.
+func TestTableRaggedRows(t *testing.T) {
+	tab := &Table{
+		Columns: []string{"a", "b"},
+		Rows:    [][]string{{"1"}, {"1", "2", "3"}},
+	}
+	s := tab.String() // must not panic
+	if !strings.Contains(s, "3") {
+		t.Errorf("extra cell dropped from render:\n%s", s)
+	}
+	csv := tab.CSV()
+	lines := strings.Split(strings.TrimRight(csv, "\n"), "\n")
+	if want := []string{"a,b", "1,", "1,2,3"}; len(lines) != len(want) {
+		t.Fatalf("csv lines %q", lines)
+	} else {
+		for i := range want {
+			if lines[i] != want[i] {
+				t.Errorf("csv line %d = %q, want %q", i, lines[i], want[i])
+			}
+		}
+	}
+}
+
 func TestTableCSV(t *testing.T) {
 	tab := &Table{
 		Columns: []string{"x", "y"},

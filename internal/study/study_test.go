@@ -472,3 +472,76 @@ func TestIdleMemoryAblationChangesObservations(t *testing.T) {
 		}
 	}
 }
+
+func TestForEachIndexedZeroItems(t *testing.T) {
+	called := false
+	err := forEachIndexed(context.Background(), 0, 4, func(ctx context.Context, i int) error {
+		called = true
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("n=0 returned %v", err)
+	}
+	if called {
+		t.Fatal("work called with no items")
+	}
+}
+
+func TestForEachIndexedMoreWorkersThanItems(t *testing.T) {
+	const n = 3
+	var mu sync.Mutex
+	counts := make([]int, n)
+	err := forEachIndexed(context.Background(), n, 16, func(ctx context.Context, i int) error {
+		mu.Lock()
+		counts[i]++
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range counts {
+		if c != 1 {
+			t.Errorf("index %d ran %d times", i, c)
+		}
+	}
+}
+
+func TestForEachIndexedParentCancelMidFeed(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	ran := 0
+	err := forEachIndexed(ctx, 100, 1, func(ctx context.Context, i int) error {
+		ran++
+		if i == 2 {
+			cancel() // parent cancellation arrives while the feed loop runs
+		}
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if ran >= 100 {
+		t.Fatal("cancellation did not stop dispatch")
+	}
+}
+
+func TestForEachIndexedLowestErrorWins(t *testing.T) {
+	errA := errors.New("index 0 failed")
+	errB := errors.New("index 1 failed")
+	// A barrier holds both workers until each has its job, so both errors
+	// are in flight concurrently; the lowest index must still win.
+	var barrier sync.WaitGroup
+	barrier.Add(2)
+	err := forEachIndexed(context.Background(), 2, 2, func(ctx context.Context, i int) error {
+		barrier.Done()
+		barrier.Wait()
+		if i == 0 {
+			return errA
+		}
+		return errB
+	})
+	if !errors.Is(err, errA) {
+		t.Fatalf("err = %v, want the index-0 error", err)
+	}
+}
