@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race race-full lint bench bench-study fmt
+.PHONY: build test race race-full lint bench bench-study trace-smoke profile fmt
 
 build:
 	$(GO) build ./...
@@ -37,6 +37,32 @@ bench:
 # and writes BENCH_study.json (the CI benchmark smoke artifact).
 bench-study:
 	$(GO) run ./cmd/benchstudy -out BENCH_study.json
+
+# trace-smoke runs a traced 1-app study slice and validates the
+# observability artifacts: the span log must parse and cover every phase,
+# and the run manifest must be complete (cmd/tracecheck). The per-phase
+# aggregates land in trace-smoke-out/phases.csv; CI uploads the directory
+# alongside BENCH_study.json.
+trace-smoke:
+	mkdir -p trace-smoke-out
+	$(GO) run ./cmd/metricstudy -quiet -csv -only phases \
+		-apps avus-standard -targets ARL_Opteron,MHPCC_P3 \
+		-spans trace-smoke-out/spans.jsonl \
+		-manifest trace-smoke-out/manifest.json \
+		-prom trace-smoke-out/metrics.prom \
+		-cpuprofile trace-smoke-out/cpu.pprof \
+		> trace-smoke-out/phases.csv
+	$(GO) run ./cmd/tracecheck trace-smoke-out/spans.jsonl trace-smoke-out/manifest.json
+
+# profile runs the same slice with the Go profilers wired in and prints
+# the top CPU consumers; profile-out/ also gets the heap profile.
+profile:
+	mkdir -p profile-out
+	$(GO) run ./cmd/metricstudy -quiet -only table4 \
+		-apps avus-standard -targets ARL_Opteron,MHPCC_P3 \
+		-cpuprofile profile-out/cpu.pprof -memprofile profile-out/mem.pprof \
+		> /dev/null
+	$(GO) tool pprof -top -nodecount=15 profile-out/cpu.pprof
 
 fmt:
 	gofmt -w .

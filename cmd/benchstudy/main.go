@@ -5,9 +5,14 @@
 // number is comparable across runs; it is a smoke signal, not a rigorous
 // benchmark.
 //
+// Both runs are traced, and the report embeds the parallel run's
+// per-phase aggregates plus a run manifest, so BENCH_study.json trends
+// stay attributable: a regression shows which phase moved and on what
+// toolchain/host it was measured.
+//
 // Usage:
 //
-//	benchstudy [-out BENCH_study.json]
+//	benchstudy [-out BENCH_study.json] [-cpuprofile f] [-memprofile f] [-tracefile f]
 package main
 
 import (
@@ -17,36 +22,77 @@ import (
 	"log"
 	"os"
 	"runtime"
+	"runtime/pprof"
+	rtrace "runtime/trace"
 	"time"
 
+	"hpcmetrics/internal/obs"
 	"hpcmetrics/internal/study"
 )
 
 type report struct {
-	GOMAXPROCS        int      `json:"gomaxprocs"`
-	Apps              []string `json:"apps"`
-	Targets           []string `json:"targets"`
-	SequentialSeconds float64  `json:"sequential_seconds"`
-	ParallelSeconds   float64  `json:"parallel_seconds"`
-	Speedup           float64  `json:"speedup"`
+	GOMAXPROCS        int             `json:"gomaxprocs"`
+	Apps              []string        `json:"apps"`
+	Targets           []string        `json:"targets"`
+	SequentialSeconds float64         `json:"sequential_seconds"`
+	ParallelSeconds   float64         `json:"parallel_seconds"`
+	Speedup           float64         `json:"speedup"`
+	Phases            []obs.PhaseStat `json:"phases"`
+	Manifest          obs.Manifest    `json:"manifest"`
 }
 
 func main() {
 	out := flag.String("out", "BENCH_study.json", "path for the JSON timing report")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this path")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this path")
+	tracefile := flag.String("tracefile", "", "write a runtime/trace execution trace to this path")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			log.Fatalf("benchstudy: %v", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatalf("benchstudy: %v", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *tracefile != "" {
+		f, err := os.Create(*tracefile)
+		if err != nil {
+			log.Fatalf("benchstudy: %v", err)
+		}
+		defer f.Close()
+		if err := rtrace.Start(f); err != nil {
+			log.Fatalf("benchstudy: %v", err)
+		}
+		defer rtrace.Stop()
+	}
 
 	opts := study.Options{
 		Apps:    []string{"avus-standard", "rfcth-standard"},
 		Targets: []string{"ARL_Opteron", "MHPCC_P3"},
 	}
 
-	seq, err := timeRun(opts, 1)
+	// Both runs are instrumented identically so the timing comparison
+	// stays apples-to-apples (the enabled-tracer overhead is symmetric).
+	seq, _, err := timeRun(opts, 1)
 	if err != nil {
 		log.Fatalf("benchstudy: sequential run: %v", err)
 	}
-	par, err := timeRun(opts, runtime.GOMAXPROCS(0))
+	par, parObs, err := timeRun(opts, runtime.GOMAXPROCS(0))
 	if err != nil {
 		log.Fatalf("benchstudy: parallel run: %v", err)
+	}
+
+	manifest := obs.NewManifest()
+	manifest.Seed = fmt.Sprintf("fnv1a-noise-amp=%g", study.NoiseAmplitude)
+	manifest.Options = map[string]any{
+		"apps":    opts.Apps,
+		"targets": opts.Targets,
+		"workers": runtime.GOMAXPROCS(0),
 	}
 
 	r := report{
@@ -56,6 +102,8 @@ func main() {
 		SequentialSeconds: seq.Seconds(),
 		ParallelSeconds:   par.Seconds(),
 		Speedup:           seq.Seconds() / par.Seconds(),
+		Phases:            parObs.Tracer.PhaseStats(),
+		Manifest:          manifest,
 	}
 	buf, err := json.MarshalIndent(r, "", "  ")
 	if err != nil {
@@ -67,13 +115,28 @@ func main() {
 	}
 	fmt.Printf("sequential %.1fs, parallel %.1fs (x%.2f on GOMAXPROCS=%d); wrote %s\n",
 		r.SequentialSeconds, r.ParallelSeconds, r.Speedup, r.GOMAXPROCS, *out)
+
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			log.Fatalf("benchstudy: %v", err)
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			log.Fatalf("benchstudy: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatalf("benchstudy: %v", err)
+		}
+	}
 }
 
-func timeRun(opts study.Options, workers int) (time.Duration, error) {
+func timeRun(opts study.Options, workers int) (time.Duration, *obs.Obs, error) {
 	opts.Workers = workers
+	opts.Obs = obs.New()
 	start := time.Now()
 	if _, err := study.Run(opts); err != nil {
-		return 0, err
+		return 0, nil, err
 	}
-	return time.Since(start), nil
+	return time.Since(start), opts.Obs, nil
 }

@@ -3,9 +3,19 @@
 // metric), Table 5 (error per system), the balanced-rating experiment,
 // Figures 1 and 3-7, and the appendix observed-time tables.
 //
+// With -trace it also instruments the run: every phase becomes a span,
+// the worker pool reports occupancy and queue wait, and a flame-style
+// per-phase time table plus the run-metrics table are printed after the
+// study sections. -spans and -manifest export the span log (JSONL) and
+// the run manifest; -cpuprofile, -memprofile, and -tracefile wire the
+// standard Go profilers in.
+//
 // Usage:
 //
-//	metricstudy [-csv] [-quiet] [-only table4|table5|figures|observed|probes|balanced|ranking]
+//	metricstudy [-csv] [-quiet] [-only <section>] [-ablate <ingredient>]
+//	            [-apps a,b] [-targets x,y] [-workers n]
+//	            [-trace] [-spans f.jsonl] [-manifest f.json] [-prom f.txt]
+//	            [-cpuprofile f] [-memprofile f] [-tracefile f]
 package main
 
 import (
@@ -13,24 +23,88 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
+	rtrace "runtime/trace"
+	"strings"
 
 	"hpcmetrics"
+	"hpcmetrics/internal/obs"
 	"hpcmetrics/internal/report"
 	"hpcmetrics/internal/study"
 )
 
 func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "metricstudy:", err)
+		os.Exit(1)
+	}
+}
+
+// splitList parses a comma-separated flag value.
+func splitList(s string) []string {
+	if s == "" {
+		return nil
+	}
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
+func run() error {
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
 	quiet := flag.Bool("quiet", false, "suppress progress output")
-	only := flag.String("only", "", "print only one section: table4, table5, figures, observed, probes, balanced, correlation, ranking")
+	only := flag.String("only", "", "print only one section: table4, table5, figures, observed, probes, balanced, correlation, ranking, skips, phases")
 	ablate := flag.String("ablate", "", "ablation: noise, loadedmem, or dep (runs the study with that model ingredient disabled)")
+	appsFlag := flag.String("apps", "", "comma-separated test cases to study (default all, e.g. avus-standard)")
+	targetsFlag := flag.String("targets", "", "comma-separated target systems to study (default all, e.g. ARL_Opteron)")
+	workers := flag.Int("workers", 0, "worker-pool size (0 = GOMAXPROCS)")
+	traceOn := flag.Bool("trace", false, "instrument the run: spans, pool metrics, and a per-phase time table")
+	spansPath := flag.String("spans", "", "write the span log (JSONL) to this path (implies -trace)")
+	manifestPath := flag.String("manifest", "", "write the run manifest (JSON) to this path (implies -trace)")
+	promPath := flag.String("prom", "", "write the metrics registry (Prometheus text format) to this path (implies -trace)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this path")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this path")
+	tracefile := flag.String("tracefile", "", "write a runtime/trace execution trace to this path")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *tracefile != "" {
+		f, err := os.Create(*tracefile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := rtrace.Start(f); err != nil {
+			return err
+		}
+		defer rtrace.Stop()
+	}
 
 	var progress io.Writer = os.Stderr
 	if *quiet {
 		progress = nil
 	}
-	opts := study.Options{Progress: progress}
+	opts := study.Options{
+		Progress: progress,
+		Apps:     splitList(*appsFlag),
+		Targets:  splitList(*targetsFlag),
+		Workers:  *workers,
+	}
 	switch *ablate {
 	case "":
 	case "noise":
@@ -40,16 +114,21 @@ func main() {
 	case "dep":
 		opts.NoDependencyFlags = true
 	default:
-		fmt.Fprintf(os.Stderr, "metricstudy: unknown ablation %q\n", *ablate)
-		os.Exit(2)
+		return fmt.Errorf("unknown ablation %q", *ablate)
 	}
 	if *ablate != "" {
 		fmt.Fprintf(os.Stderr, "metricstudy: ablation %q active — results intentionally deviate from the reproduction\n", *ablate)
 	}
+	if *spansPath != "" || *manifestPath != "" || *promPath != "" {
+		*traceOn = true
+	}
+	if *traceOn {
+		opts.Obs = obs.New()
+	}
+
 	res, err := study.Run(opts)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "metricstudy:", err)
-		os.Exit(1)
+		return err
 	}
 
 	emit := func(t *hpcmetrics.ReportTable) {
@@ -59,15 +138,15 @@ func main() {
 			fmt.Println(t.String())
 		}
 	}
-
 	section := func(name string) bool { return *only == "" || *only == name }
 
 	if section("probes") {
 		emit(hpcmetrics.ProbeTable(res))
-		prs := []*hpcmetrics.ProbeResults{
-			res.Probes[hpcmetrics.NAVO655],
-			res.Probes[hpcmetrics.ARLAltix],
-			res.Probes[hpcmetrics.ARLOpteron],
+		var prs []*hpcmetrics.ProbeResults
+		for _, name := range []string{hpcmetrics.NAVO655, hpcmetrics.ARLAltix, hpcmetrics.ARLOpteron} {
+			if pr, ok := res.Probes[name]; ok {
+				prs = append(prs, pr)
+			}
 		}
 		emit(report.MAPSCurveTable(prs))
 	}
@@ -82,20 +161,24 @@ func main() {
 	}
 	if section("figures") {
 		for _, tc := range hpcmetrics.TestCases() {
+			if !wantsApp(opts, tc.ID()) {
+				continue
+			}
 			t, err := hpcmetrics.FigureTable(res, tc.ID())
 			if err != nil {
-				fmt.Fprintln(os.Stderr, "metricstudy:", err)
-				os.Exit(1)
+				return err
 			}
 			emit(t)
 		}
 	}
 	if section("observed") {
 		for _, tc := range hpcmetrics.TestCases() {
+			if !wantsApp(opts, tc.ID()) {
+				continue
+			}
 			t, err := hpcmetrics.ObservedTable(res, tc.ID())
 			if err != nil {
-				fmt.Fprintln(os.Stderr, "metricstudy:", err)
-				os.Exit(1)
+				return err
 			}
 			emit(t)
 		}
@@ -103,8 +186,7 @@ func main() {
 	if section("correlation") {
 		t, err := report.CorrelationTable(res)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "metricstudy:", err)
-			os.Exit(1)
+			return err
 		}
 		emit(t)
 	}
@@ -114,4 +196,85 @@ func main() {
 			fmt.Printf("  %2d. %s\n", i+1, name)
 		}
 	}
+	if section("skips") && len(res.Skips) > 0 {
+		emit(report.SkipTable(res))
+	}
+	if *traceOn && section("phases") {
+		emit(report.PhaseTable(opts.Obs.Tracer.PhaseStats()))
+		emit(report.RegistryTable(opts.Obs.Metrics.Snapshot()))
+	}
+
+	if err := exportObs(opts, *spansPath, *manifestPath, *promPath, *ablate); err != nil {
+		return err
+	}
+	if *memprofile != "" {
+		// Written after the study so the heap profile reflects the run's
+		// live set rather than flag parsing.
+		return writeTo(*memprofile, func(w io.Writer) error {
+			runtime.GC()
+			return pprof.WriteHeapProfile(w)
+		})
+	}
+	return nil
+}
+
+// writeTo creates path, streams write into it, and returns the first
+// error among create, write, and close.
+func writeTo(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	err = write(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// wantsApp mirrors the study's app filter so sections skip apps outside
+// a -apps slice instead of erroring on their missing cells.
+func wantsApp(opts study.Options, id string) bool {
+	if len(opts.Apps) == 0 {
+		return true
+	}
+	for _, a := range opts.Apps {
+		if a == id {
+			return true
+		}
+	}
+	return false
+}
+
+// exportObs writes the span log, run manifest, and Prometheus dump for a
+// traced run.
+func exportObs(opts study.Options, spansPath, manifestPath, promPath, ablate string) error {
+	if opts.Obs == nil {
+		return nil
+	}
+	if spansPath != "" {
+		if err := writeTo(spansPath, opts.Obs.Tracer.WriteJSONL); err != nil {
+			return err
+		}
+	}
+	if promPath != "" {
+		if err := writeTo(promPath, opts.Obs.Metrics.WriteProm); err != nil {
+			return err
+		}
+	}
+	if manifestPath != "" {
+		m := obs.NewManifest()
+		m.Seed = fmt.Sprintf("fnv1a-noise-amp=%g", study.NoiseAmplitude)
+		m.Options = map[string]any{
+			"apps":    opts.Apps,
+			"targets": opts.Targets,
+			"workers": opts.Workers,
+			"ablate":  ablate,
+		}
+		m.SpanFile = spansPath
+		if err := m.WriteFile(manifestPath); err != nil {
+			return err
+		}
+	}
+	return nil
 }

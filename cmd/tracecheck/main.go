@@ -1,0 +1,86 @@
+// Command tracecheck validates trace-smoke artifacts: it parses a span
+// log (JSONL) and a run manifest, and fails unless the span log is
+// well-formed, covers the study's phases, and the manifest is complete.
+// CI runs it after a traced -short study to catch export regressions.
+//
+// Usage:
+//
+//	tracecheck spans.jsonl manifest.json
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"hpcmetrics/internal/obs"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "tracecheck:", err)
+		os.Exit(1)
+	}
+}
+
+// requiredPhases are the span names every traced study run must emit.
+var requiredPhases = []string{"study", "probe", "observe", "trace", "predict", "convolve", "balanced"}
+
+func run() error {
+	if len(os.Args) != 3 {
+		return fmt.Errorf("usage: tracecheck spans.jsonl manifest.json")
+	}
+	spansPath, manifestPath := os.Args[1], os.Args[2]
+
+	f, err := os.Open(spansPath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	recs, err := obs.ReadJSONL(f)
+	if err != nil {
+		return err
+	}
+	if len(recs) == 0 {
+		return fmt.Errorf("%s: no spans", spansPath)
+	}
+	byID := make(map[uint64]bool, len(recs))
+	names := make(map[string]int)
+	for _, rec := range recs {
+		if rec.ID == 0 {
+			return fmt.Errorf("%s: span with zero id", spansPath)
+		}
+		if byID[rec.ID] {
+			return fmt.Errorf("%s: duplicate span id %d", spansPath, rec.ID)
+		}
+		byID[rec.ID] = true
+		if rec.Name == "" || rec.Path == "" {
+			return fmt.Errorf("%s: span %d missing name/path", spansPath, rec.ID)
+		}
+		if rec.DurNs < 0 {
+			return fmt.Errorf("%s: span %d has negative duration", spansPath, rec.ID)
+		}
+		names[rec.Name]++
+	}
+	for _, rec := range recs {
+		if rec.Parent != 0 && !byID[rec.Parent] {
+			return fmt.Errorf("%s: span %d references unknown parent %d", spansPath, rec.ID, rec.Parent)
+		}
+	}
+	for _, want := range requiredPhases {
+		if names[want] == 0 {
+			return fmt.Errorf("%s: no %q span", spansPath, want)
+		}
+	}
+
+	m, err := obs.ReadManifest(manifestPath)
+	if err != nil {
+		return err
+	}
+	if err := m.Complete(); err != nil {
+		return fmt.Errorf("%s: %w", manifestPath, err)
+	}
+
+	fmt.Printf("tracecheck: %d spans across %d phase names, manifest complete (%s, GOMAXPROCS=%d)\n",
+		len(recs), len(names), m.GoVersion, m.GOMAXPROCS)
+	return nil
+}

@@ -41,6 +41,7 @@ import (
 	"hpcmetrics/internal/convolve"
 	"hpcmetrics/internal/machine"
 	"hpcmetrics/internal/metrics"
+	"hpcmetrics/internal/obs"
 	"hpcmetrics/internal/probes"
 	"hpcmetrics/internal/report"
 	"hpcmetrics/internal/simexec"
@@ -169,9 +170,37 @@ type (
 	StudyResults = study.Results
 	// StudyKey identifies one (application, case, CPU count) cell.
 	StudyKey = study.Key
+	// StudyOptions configures a study run (slices, workers, ablations,
+	// observability).
+	StudyOptions = study.Options
+	// StudySkip records why one (cell, system) observation is missing.
+	StudySkip = study.Skip
 	// ReportTable is a rendered table (String() for terminals, CSV()).
 	ReportTable = report.Table
 )
+
+// Observability: the span tracer, metrics registry, and run manifest
+// that make a study run auditable (see internal/obs).
+type (
+	// Obs bundles a tracer and a metrics registry for a run.
+	Obs = obs.Obs
+	// SpanRecord is one finished span as exported to JSONL.
+	SpanRecord = obs.SpanRecord
+	// PhaseStat is one row of the flame-style per-phase summary.
+	PhaseStat = obs.PhaseStat
+	// RunManifest attributes a run: toolchain, host, seed, options.
+	RunManifest = obs.Manifest
+)
+
+// NewObs returns an observability bundle to pass in StudyOptions.Obs.
+func NewObs() *Obs { return obs.New() }
+
+// PhaseTable renders the per-phase self/total time table of a traced run.
+func PhaseTable(stats []PhaseStat) *ReportTable { return report.PhaseTable(stats) }
+
+// SkipTable renders the appendix-style skipped-observation report with
+// reasons (job-too-large vs. error).
+func SkipTable(res *StudyResults) *ReportTable { return report.SkipTable(res) }
 
 // RunStudy executes the full reproduction: probes all systems, observes
 // all 150 cells, traces on the base system, applies the nine metrics and
@@ -179,6 +208,12 @@ type (
 // order of a minute of CPU time.
 func RunStudy(w io.Writer) (*StudyResults, error) {
 	return study.Run(study.Options{Progress: w})
+}
+
+// RunStudyWithOptions executes the study with full control over slices,
+// worker count, ablations, and observability.
+func RunStudyWithOptions(opts StudyOptions) (*StudyResults, error) {
+	return study.Run(opts)
 }
 
 // SharedStudy runs the study once per process and caches the result.

@@ -12,6 +12,7 @@ package cflite
 import (
 	"go/ast"
 	"go/types"
+	"strings"
 )
 
 // CtxArgKind classifies the context argument of one resolved call.
@@ -61,8 +62,10 @@ type FuncNode struct {
 	// ConsultsDirect: the body calls Done/Err/Deadline/Value on a
 	// context-typed expression.
 	ConsultsDirect bool
-	// ForwardsLive: the body passes a live (non-minted) context as an
-	// argument to any call, in or out of the graph.
+	// ForwardsLive: the body hands a live (non-minted) context onward —
+	// as an argument to any call, in or out of the graph, as a return
+	// value, or embedded in a composite literal (the context-wrapper
+	// shape of internal/obs).
 	ForwardsLive bool
 	// forwardsOutside: a live context leaves the graph (unknown callee);
 	// the propagation assumes the recipient consults it.
@@ -139,6 +142,26 @@ func (g *CallGraph) observe(info *types.Info, n *FuncNode) {
 			}
 		case *ast.CallExpr:
 			g.observeCall(info, n, node)
+		case *ast.ReturnStmt:
+			// Returning a live ctx forwards it to the caller (the shape of
+			// context wrappers); it is not a dead parameter, but the return
+			// does not count as consulting.
+			for _, res := range node.Results {
+				if IsContext(info.TypeOf(res)) && !mintsContext(info, res) {
+					n.ForwardsLive = true
+				}
+			}
+		case *ast.CompositeLit:
+			// Embedding a live ctx in a struct literal (a derived context
+			// carrying extra values) likewise forwards it.
+			for _, elt := range node.Elts {
+				if kv, ok := elt.(*ast.KeyValueExpr); ok {
+					elt = kv.Value
+				}
+				if IsContext(info.TypeOf(elt)) && !mintsContext(info, elt) {
+					n.ForwardsLive = true
+				}
+			}
 		}
 		return true
 	})
@@ -154,16 +177,28 @@ func (g *CallGraph) observeCall(info *types.Info, n *FuncNode, call *ast.CallExp
 		}
 	}
 	arg := ctxArgKind(info, call)
-	callee := g.byObj[calleeObject(info, call)]
+	obj := calleeObject(info, call)
+	callee := g.byObj[obj]
 	if arg == CtxArgLive {
 		n.ForwardsLive = true
-		if callee == nil {
+		if callee == nil && !isObsCallee(obj) {
 			n.forwardsOutside = true
 		}
 	}
 	if callee != nil {
 		n.Calls = append(n.Calls, CallSite{Call: call, Callee: callee, CtxArg: arg})
 	}
+}
+
+// isObsCallee reports whether obj names a function of an observability
+// package (import path ending in internal/obs). Span and metric helpers
+// record the ctx's trace lineage but never wire cancellation through it,
+// so a live ctx handed to them clears the dead-parameter rule without
+// counting as consulted: a spawner whose only ctx use is starting a span
+// still needs a real cancellation point.
+func isObsCallee(obj types.Object) bool {
+	return obj != nil && obj.Pkg() != nil &&
+		strings.HasSuffix(obj.Pkg().Path(), "internal/obs")
 }
 
 // calleeObject resolves a call's target to the function object it names,

@@ -155,6 +155,102 @@ func TestCallGraphConsultsPropagation(t *testing.T) {
 	}
 }
 
+func TestCallGraphForwardsByReturnAndLiteral(t *testing.T) {
+	g := buildGraph(t, `package p
+
+import "context"
+
+type wrap struct {
+	context.Context
+	tag string
+}
+
+func ret(ctx context.Context) context.Context { return ctx }
+
+func embeds(ctx context.Context) context.Context { return wrap{Context: ctx, tag: "t"} }
+
+func retMinted(ctx context.Context) context.Context { return context.Background() }
+`)
+	for _, name := range []string{"ret", "embeds"} {
+		n := node(t, g, name)
+		if !n.ForwardsLive {
+			t.Errorf("ForwardsLive(%s) = false, want true (ctx handed to the caller)", name)
+		}
+		if n.Consults {
+			t.Errorf("Consults(%s) = true, want false (forwarding up is not consulting)", name)
+		}
+	}
+	if n := node(t, g, "retMinted"); n.ForwardsLive {
+		t.Error("ForwardsLive(retMinted) = true, want false (returns a minted root, drops its own ctx)")
+	}
+}
+
+// buildGraphFS type-checks a GOPATH-style fixture tree (import path ->
+// source) and returns package p's propagated call graph, for cases that
+// need a sibling package (the internal/obs forwarding exemption).
+func buildGraphFS(t *testing.T, files map[string]string) *CallGraph {
+	t.Helper()
+	src := filepath.Join(t.TempDir(), "src")
+	for path, content := range files {
+		full := filepath.Join(src, filepath.FromSlash(path), "f.go")
+		if err := os.MkdirAll(filepath.Dir(full), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(full, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	loader := load.New()
+	loader.SrcRoots = []string{src}
+	pkg, err := loader.LoadAs(filepath.Join(src, "p"), "p")
+	if err != nil {
+		t.Fatalf("type-checking fixture: %v", err)
+	}
+	g := BuildCallGraph(pkg.Info, pkg.Syntax)
+	g.Propagate()
+	return g
+}
+
+func TestCallGraphObsCalleeExemption(t *testing.T) {
+	g := buildGraphFS(t, map[string]string{
+		"internal/obs": `package obs
+
+import "context"
+
+type key struct{}
+
+func StartSpan(ctx context.Context, name string) context.Context {
+	_ = ctx.Value(key{})
+	return ctx
+}
+`,
+		"p": `package p
+
+import (
+	"context"
+	"internal/obs"
+)
+
+func spansOnly(ctx context.Context) {
+	_ = obs.StartSpan(ctx, "phase")
+}
+
+func escapes(ctx context.Context) {
+	_ = context.WithValue(ctx, key{}, 1)
+}
+
+type key struct{}
+`,
+	})
+	if n := node(t, g, "spansOnly"); !n.ForwardsLive || n.Consults {
+		t.Errorf("spansOnly: ForwardsLive=%v Consults=%v, want live ctx to internal/obs to forward without consulting",
+			n.ForwardsLive, n.Consults)
+	}
+	if n := node(t, g, "escapes"); !n.Consults {
+		t.Error("Consults(escapes) = false, want true (live ctx to a non-obs unknown callee is assumed consulted)")
+	}
+}
+
 func TestCallGraphDirectObservations(t *testing.T) {
 	g := buildGraph(t, `package p
 

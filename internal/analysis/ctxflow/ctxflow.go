@@ -1,5 +1,6 @@
 // Package ctxflow enforces context-cancellation discipline in the
-// parallel study harness (internal/study and internal/simexec).
+// parallel study harness (internal/study and internal/simexec) and its
+// observability layer (internal/obs).
 //
 // The harness fans the 1,350-prediction grid out over a worker pool; a
 // goroutine or unbounded loop there that cannot be cancelled turns every
@@ -31,6 +32,15 @@
 // Functions without a ctx parameter may mint context.Background() —
 // that is the blessed entry-point shape (study.Run, simexec.Execute):
 // every cancellation chain has to be rooted somewhere.
+//
+// Observability calls get special treatment on both sides. A live ctx
+// passed to an internal/obs function (obs.StartSpan, Obs.Inject) counts
+// as forwarding — span helpers are not dead parameters — but not as
+// consulting: obs records the ctx's span lineage without wiring
+// cancellation through it, so a spawner whose only ctx use is starting a
+// span is still flagged. Inside internal/obs itself, returning a live
+// ctx or embedding it in a composite literal (the context-wrapper shape
+// of Inject and StartSpan) likewise counts as forwarding.
 package ctxflow
 
 import (
@@ -44,7 +54,7 @@ import (
 // Analyzer is the ctxflow check.
 var Analyzer = &framework.Analyzer{
 	Name: "ctxflow",
-	Doc: "requires functions in internal/study and internal/simexec that spawn goroutines " +
+	Doc: "requires functions in internal/study, internal/simexec, and internal/obs that spawn goroutines " +
 		"or loop unboundedly (directly or via same-package callees) to accept a context.Context " +
 		"and consult it; flags call sites that sever cancellation with context.Background()/TODO() " +
 		"or drop it into ctx-less callees, goroutines that capture a ctx without consulting it, " +
@@ -55,7 +65,8 @@ var Analyzer = &framework.Analyzer{
 // scoped reports whether the package is one the harness rules apply to.
 func scoped(pkgPath string) bool {
 	return strings.Contains(pkgPath, "internal/study") ||
-		strings.Contains(pkgPath, "internal/simexec")
+		strings.Contains(pkgPath, "internal/simexec") ||
+		strings.Contains(pkgPath, "internal/obs")
 }
 
 // graphKey keys the propagated call graph in the pass's fact store, so a

@@ -9,5 +9,5 @@ import (
 
 func TestCtxflow(t *testing.T) {
 	analysistest.Run(t, "testdata", ctxflow.Analyzer,
-		"internal/study", "internal/simexec", "pipeline")
+		"internal/study", "internal/simexec", "internal/obs", "pipeline")
 }

@@ -1,0 +1,46 @@
+// Package obs mirrors the context-wrapper shapes of the real
+// observability layer; ctxflow applies because the fixture's import path
+// is internal/obs. The obs-specific call-site rules (forwarding without
+// consulting) are exercised from the internal/study fixture's spans.go.
+package obs
+
+import "context"
+
+// Span is a recorded phase; the fixture's methods are no-ops.
+type Span struct{}
+
+// End finishes the span.
+func (s *Span) End() {}
+
+type spanKey struct{}
+
+// wrapCtx is the derived-context shape: it embeds the parent ctx.
+type wrapCtx struct {
+	context.Context
+	span *Span
+}
+
+// StartSpan consults the ctx for a parent span and returns a derived
+// wrapper: the parameter is consulted and forwarded, so no diagnostic.
+func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	_ = ctx.Value(spanKey{})
+	s := &Span{}
+	return wrapCtx{Context: ctx, span: s}, s
+}
+
+// Inject embeds the ctx in a wrapper literal and returns it; without the
+// composite-literal/return forwarding rules this shape would be flagged
+// as a dead parameter even though every derived ctx flows through it.
+func Inject(ctx context.Context) context.Context {
+	return wrapCtx{Context: ctx}
+}
+
+// passThrough returns its ctx unchanged: forwarding by return alone.
+func passThrough(ctx context.Context) context.Context {
+	return ctx
+}
+
+// deadParam really does drop its ctx on the floor.
+func deadParam(ctx context.Context, n int) int { // want `deadParam receives a context.Context but never consults it and passes it nowhere`
+	return n * 2
+}

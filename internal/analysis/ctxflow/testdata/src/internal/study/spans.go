@@ -1,0 +1,62 @@
+// Observability fixtures: handing a ctx to internal/obs span helpers is
+// forwarding (the parameter is not dead), but it is not consulting —
+// starting a span records the phase without wiring cancellation, so a
+// spawner whose only ctx use is obs must still select on ctx.Done().
+package study
+
+import (
+	"context"
+
+	"internal/obs"
+)
+
+// tracedPool is the blessed instrumented shape: a span wraps the pool
+// and the spawned worker still selects on the (derived) ctx's Done.
+func tracedPool(ctx context.Context, n int) error {
+	ctx, span := obs.StartSpan(ctx, "pool")
+	defer span.End()
+	jobs := make(chan int)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case i, ok := <-jobs:
+				if !ok {
+					return
+				}
+				_ = work(ctx, i)
+			}
+		}
+	}()
+	for i := 0; i < n; i++ {
+		select {
+		case <-ctx.Done():
+		case jobs <- i:
+		}
+	}
+	close(jobs)
+	<-done
+	return ctx.Err()
+}
+
+// annotates re-roots the obs handle then delegates to a consulting
+// worker; the obs call alone would not count, but drain does.
+func annotates(ctx context.Context) {
+	ctx = obs.Inject(ctx)
+	go drain(ctx)
+}
+
+// spawnOnlySpan hands its ctx to obs and nothing else: the span records
+// the phase but cannot cancel the goroutine, so the spawn is flagged.
+func spawnOnlySpan(ctx context.Context) { // want `spawnOnlySpan spawns a goroutine and takes a context.Context but never consults it`
+	_, span := obs.StartSpan(ctx, "phase")
+	defer span.End()
+	done := make(chan struct{})
+	go func() {
+		close(done)
+	}()
+	<-done
+}

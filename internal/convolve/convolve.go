@@ -21,10 +21,12 @@
 package convolve
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	"hpcmetrics/internal/netsim"
+	"hpcmetrics/internal/obs"
 	"hpcmetrics/internal/probes"
 	"hpcmetrics/internal/trace"
 )
@@ -99,6 +101,20 @@ type Prediction struct {
 
 // Predict convolves the trace with the probe results.
 func Predict(tr *trace.Trace, pr *probes.Results, opts Options) (*Prediction, error) {
+	return PredictContext(context.Background(), tr, pr, opts)
+}
+
+// PredictContext is Predict with tracing: one "convolve" span per call
+// when the context carries a tracer, annotated with the (app, machine)
+// pair and the transfer-function options.
+func PredictContext(ctx context.Context, tr *trace.Trace, pr *probes.Results, opts Options) (*Prediction, error) {
+	_, span := obs.StartSpan(ctx, "convolve")
+	defer span.End()
+	if span != nil && tr != nil && pr != nil {
+		span.Annotate("app", tr.ID())
+		span.Annotate("machine", pr.Machine)
+		span.Annotate("memory", opts.Memory.String())
+	}
 	if tr == nil || pr == nil {
 		return nil, fmt.Errorf("convolve: nil trace or probe results")
 	}

@@ -11,6 +11,7 @@
 package metrics
 
 import (
+	"context"
 	"fmt"
 
 	"hpcmetrics/internal/convolve"
@@ -89,6 +90,13 @@ type Context struct {
 
 // Predict returns the predicted wall-clock seconds on the target system.
 func (m Metric) Predict(ctx Context) (float64, error) {
+	return m.PredictContext(context.Background(), ctx)
+}
+
+// PredictContext is Predict with tracing: when goCtx carries a tracer,
+// the predictive metrics' two convolver passes (target and base) each
+// record a "convolve" span.
+func (m Metric) PredictContext(goCtx context.Context, ctx Context) (float64, error) {
 	if ctx.Base == nil || ctx.Target == nil {
 		return 0, fmt.Errorf("metrics: %s: missing probe results", m.Label())
 	}
@@ -107,11 +115,11 @@ func (m Metric) Predict(ctx Context) (float64, error) {
 		if ctx.Trace == nil {
 			return 0, fmt.Errorf("metrics: %s: predictive metric needs a trace", m.Label())
 		}
-		pt, err := convolve.Predict(ctx.Trace, ctx.Target, m.conv)
+		pt, err := convolve.PredictContext(goCtx, ctx.Trace, ctx.Target, m.conv)
 		if err != nil {
 			return 0, err
 		}
-		pb, err := convolve.Predict(ctx.Trace, ctx.Base, m.conv)
+		pb, err := convolve.PredictContext(goCtx, ctx.Trace, ctx.Base, m.conv)
 		if err != nil {
 			return 0, err
 		}

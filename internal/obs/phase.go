@@ -1,0 +1,75 @@
+package obs
+
+import "sort"
+
+// PhaseStat aggregates every span sharing one path into a flame-style
+// summary row. TotalNs sums span durations; SelfNs subtracts the summed
+// durations of direct children, clamped at zero — with concurrent
+// children (the study worker pool) child time can exceed the parent's
+// wall-clock, which is itself a signal of parallelism.
+type PhaseStat struct {
+	Path    string `json:"path"`
+	Count   int64  `json:"count"`
+	TotalNs int64  `json:"total_ns"`
+	SelfNs  int64  `json:"self_ns"`
+	MinNs   int64  `json:"min_ns"`
+	MaxNs   int64  `json:"max_ns"`
+}
+
+// sortRecords orders span records by start time, then ID.
+func sortRecords(recs []SpanRecord) {
+	sort.Slice(recs, func(i, j int) bool {
+		if recs[i].StartNs != recs[j].StartNs {
+			return recs[i].StartNs < recs[j].StartNs
+		}
+		return recs[i].ID < recs[j].ID
+	})
+}
+
+// PhaseStats aggregates finished spans by path. Rows come back sorted
+// lexicographically by path, which lays parents directly above their
+// children ("study" before "study/observe" before "study/observe/exec").
+func PhaseStats(records []SpanRecord) []PhaseStat {
+	byPath := make(map[string]*PhaseStat)
+	childNs := make(map[string]int64)
+	byID := make(map[uint64]string, len(records))
+	for _, rec := range records {
+		byID[rec.ID] = rec.Path
+		st, ok := byPath[rec.Path]
+		if !ok {
+			st = &PhaseStat{Path: rec.Path, MinNs: rec.DurNs, MaxNs: rec.DurNs}
+			byPath[rec.Path] = st
+		}
+		st.Count++
+		st.TotalNs += rec.DurNs
+		if rec.DurNs < st.MinNs {
+			st.MinNs = rec.DurNs
+		}
+		if rec.DurNs > st.MaxNs {
+			st.MaxNs = rec.DurNs
+		}
+	}
+	for _, rec := range records {
+		if rec.Parent == 0 {
+			continue
+		}
+		if parentPath, ok := byID[rec.Parent]; ok {
+			childNs[parentPath] += rec.DurNs
+		}
+	}
+	out := make([]PhaseStat, 0, len(byPath))
+	for path, st := range byPath {
+		st.SelfNs = st.TotalNs - childNs[path]
+		if st.SelfNs < 0 {
+			st.SelfNs = 0
+		}
+		out = append(out, *st)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out
+}
+
+// PhaseStats aggregates the tracer's finished spans; nil reads empty.
+func (t *Tracer) PhaseStats() []PhaseStat {
+	return PhaseStats(t.Records())
+}

@@ -19,6 +19,7 @@
 package probes
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -28,6 +29,7 @@ import (
 	"hpcmetrics/internal/machine"
 	"hpcmetrics/internal/memsim"
 	"hpcmetrics/internal/netsim"
+	"hpcmetrics/internal/obs"
 	"hpcmetrics/internal/simexec"
 )
 
@@ -280,35 +282,39 @@ func Netbench(cfg *machine.Config) (NetResults, error) {
 
 // Measure runs the full probe suite on one machine.
 func Measure(cfg *machine.Config) (*Results, error) {
+	return MeasureContext(context.Background(), cfg)
+}
+
+// MeasureContext is Measure with cancellation and tracing: the study
+// harness probes machines concurrently, so the context is consulted
+// between probes, and the whole suite is one "probe" span when the
+// context carries a tracer.
+func MeasureContext(ctx context.Context, cfg *machine.Config) (*Results, error) {
+	_, span := obs.StartSpan(ctx, "probe")
+	defer span.End()
 	if err := cfg.Validate(); err != nil {
 		return nil, fmt.Errorf("probes: %w", err)
 	}
+	span.Annotate("machine", cfg.Name)
 	res := &Results{Machine: cfg.Name, OverlapFraction: cfg.MemOverlapFraction}
 
-	var err error
-	if res.HPLFlopsPerSec, err = HPL(cfg); err != nil {
-		return nil, err
+	steps := []func() error{
+		func() (err error) { res.HPLFlopsPerSec, err = HPL(cfg); return err },
+		func() (err error) { res.StreamBytesPerSec, err = STREAM(cfg); return err },
+		func() (err error) { res.GUPSRefsPerSec, err = GUPS(cfg); return err },
+		func() (err error) { res.MAPSUnit, err = MAPS(cfg, MAPSUnitStride, nil, false); return err },
+		func() (err error) { res.MAPSRandom, err = MAPS(cfg, MAPSRandomStride, nil, false); return err },
+		func() (err error) { res.DepUnit, err = MAPS(cfg, MAPSUnitStride, nil, true); return err },
+		func() (err error) { res.DepRandom, err = MAPS(cfg, MAPSRandomStride, nil, true); return err },
+		func() (err error) { res.Net, err = Netbench(cfg); return err },
 	}
-	if res.StreamBytesPerSec, err = STREAM(cfg); err != nil {
-		return nil, err
-	}
-	if res.GUPSRefsPerSec, err = GUPS(cfg); err != nil {
-		return nil, err
-	}
-	if res.MAPSUnit, err = MAPS(cfg, MAPSUnitStride, nil, false); err != nil {
-		return nil, err
-	}
-	if res.MAPSRandom, err = MAPS(cfg, MAPSRandomStride, nil, false); err != nil {
-		return nil, err
-	}
-	if res.DepUnit, err = MAPS(cfg, MAPSUnitStride, nil, true); err != nil {
-		return nil, err
-	}
-	if res.DepRandom, err = MAPS(cfg, MAPSRandomStride, nil, true); err != nil {
-		return nil, err
-	}
-	if res.Net, err = Netbench(cfg); err != nil {
-		return nil, err
+	for _, step := range steps {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("probes: %s: %w", cfg.Name, err)
+		}
+		if err := step(); err != nil {
+			return nil, err
+		}
 	}
 	return res, nil
 }

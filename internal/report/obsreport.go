@@ -1,0 +1,95 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+
+	"hpcmetrics/internal/obs"
+	"hpcmetrics/internal/study"
+)
+
+// PhaseTable renders the flame-style per-phase summary of a traced run:
+// one row per span path, indented by depth, with total time (sum over
+// all spans on that path), self time (total minus direct children), and
+// self time as a share of the run's root total. With a parallel worker
+// pool, children's summed time can exceed the parent's wall-clock — the
+// Total column then reads as aggregate work, not elapsed time.
+func PhaseTable(stats []obs.PhaseStat) *Table {
+	t := &Table{
+		Title:   "Per-phase time (flame summary)",
+		Columns: []string{"Phase", "Count", "Total(s)", "Self(s)", "Self(%)"},
+	}
+	var rootNs int64
+	for _, st := range stats {
+		if !strings.Contains(st.Path, "/") {
+			rootNs += st.TotalNs
+		}
+	}
+	for _, st := range stats {
+		depth := strings.Count(st.Path, "/")
+		name := st.Path
+		if i := strings.LastIndex(st.Path, "/"); i >= 0 {
+			name = st.Path[i+1:]
+		}
+		selfPct := 0.0
+		if rootNs > 0 {
+			selfPct = float64(st.SelfNs) / float64(rootNs) * 100
+		}
+		t.Rows = append(t.Rows, []string{
+			strings.Repeat("  ", depth) + name,
+			fmt.Sprintf("%d", st.Count),
+			fmt.Sprintf("%.3f", float64(st.TotalNs)/1e9),
+			fmt.Sprintf("%.3f", float64(st.SelfNs)/1e9),
+			fmt.Sprintf("%.1f", selfPct),
+		})
+	}
+	return t
+}
+
+// RegistryTable renders a metrics-registry snapshot: counters, gauges
+// (with peaks), and histograms (count, mean, max bucket bound reached).
+func RegistryTable(snap obs.Snapshot) *Table {
+	t := &Table{
+		Title:   "Run metrics",
+		Columns: []string{"Metric", "Kind", "Value"},
+	}
+	for _, c := range snap.Counters {
+		t.Rows = append(t.Rows, []string{c.Name, "counter", fmt.Sprintf("%d", c.Value)})
+	}
+	for _, g := range snap.Gauges {
+		t.Rows = append(t.Rows, []string{
+			g.Name, "gauge", fmt.Sprintf("%d (peak %d)", g.Value, g.Peak),
+		})
+	}
+	for _, h := range snap.Histograms {
+		mean := 0.0
+		if h.Count > 0 {
+			mean = float64(h.SumNs) / float64(h.Count) / 1e9
+		}
+		t.Rows = append(t.Rows, []string{
+			h.Name, "histogram",
+			fmt.Sprintf("n=%d mean=%.6fs sum=%.3fs", h.Count, mean, float64(h.SumNs)/1e9),
+		})
+	}
+	return t
+}
+
+// SkipTable is the appendix-style skip report: every absent observation
+// with its reason. Too-large cells are the paper's expected blanks;
+// error rows are observations the run lost to a real failure.
+func SkipTable(res *study.Results) *Table {
+	t := &Table{
+		Title:   "Skipped observations",
+		Columns: []string{"Cell", "System", "Reason", "Detail"},
+	}
+	for _, key := range res.Cells {
+		for _, name := range res.TargetNames {
+			s, ok := res.SkipFor(key, name)
+			if !ok {
+				continue
+			}
+			t.Rows = append(t.Rows, []string{key.String(), name, string(s.Reason), s.Detail})
+		}
+	}
+	return t
+}

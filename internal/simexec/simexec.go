@@ -25,6 +25,7 @@ import (
 	"hpcmetrics/internal/machine"
 	"hpcmetrics/internal/memsim"
 	"hpcmetrics/internal/netsim"
+	"hpcmetrics/internal/obs"
 	"hpcmetrics/internal/workload"
 )
 
@@ -112,11 +113,17 @@ func Execute(cfg *machine.Config, app *workload.App) (*Result, error) {
 // unit of simulation cost — so cancellation takes effect within one
 // block's cache-stream sample.
 func ExecuteContext(ctx context.Context, cfg *machine.Config, app *workload.App) (*Result, error) {
+	ctx, span := obs.StartSpan(ctx, "exec")
+	defer span.End()
 	if err := cfg.Validate(); err != nil {
 		return nil, fmt.Errorf("simexec: %w", err)
 	}
 	if err := app.Validate(); err != nil {
 		return nil, fmt.Errorf("simexec: %w", err)
+	}
+	if span != nil {
+		span.Annotate("machine", cfg.Name)
+		span.Annotate("app", app.ID())
 	}
 	if app.Procs > cfg.TotalProcs {
 		return nil, fmt.Errorf("%w: %s needs %d procs, %s has %d",

@@ -18,10 +18,12 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"time"
 
 	"hpcmetrics/internal/apps"
 	"hpcmetrics/internal/machine"
 	"hpcmetrics/internal/metrics"
+	"hpcmetrics/internal/obs"
 	"hpcmetrics/internal/probes"
 	"hpcmetrics/internal/simexec"
 	"hpcmetrics/internal/stats"
@@ -60,6 +62,24 @@ type BalancedResult struct {
 	FixedPredicted []Prediction // MetricID 0: fixed weights
 }
 
+// SkipReason classifies why a (cell, system) observation is absent.
+type SkipReason string
+
+const (
+	// SkipTooLarge marks a cell whose processor count exceeds the
+	// machine's size — the paper's blank appendix entries.
+	SkipTooLarge SkipReason = "job-too-large"
+	// SkipError marks a cell whose target execution failed; the study
+	// records the failure and carries on with the remaining cells.
+	SkipError SkipReason = "error"
+)
+
+// Skip records why one (cell, system) observation is missing.
+type Skip struct {
+	Reason SkipReason
+	Detail string
+}
+
 // Results is everything the study produced.
 type Results struct {
 	BaseName    string
@@ -67,10 +87,28 @@ type Results struct {
 	Cells       []Key    // 15 cells in paper order
 	Probes      map[string]*probes.Results
 	Observed    map[Key]map[string]float64 // seconds per machine; absent if the job does not fit
+	Skips       map[Key]map[string]Skip    // why each absent observation is absent
 	BaseTimes   map[Key]float64
 	Traces      map[Key]*trace.Trace
 	Predictions []Prediction
 	Balanced    BalancedResult
+}
+
+// SkipFor returns the skip record for one (cell, system) pair, if any.
+func (r *Results) SkipFor(key Key, system string) (Skip, bool) {
+	s, ok := r.Skips[key][system]
+	return s, ok
+}
+
+// SkipCounts tallies skips by reason across the whole grid.
+func (r *Results) SkipCounts() map[SkipReason]int {
+	out := make(map[SkipReason]int)
+	for _, byMachine := range r.Skips {
+		for _, s := range byMachine {
+			out[s.Reason]++
+		}
+	}
+	return out
 }
 
 // NoiseAmplitude is the deterministic stand-in for run-to-run variability
@@ -122,6 +160,11 @@ type Options struct {
 	// NoDependencyFlags blinds the static analyzer, so Metric #9
 	// degenerates to Metric #8.
 	NoDependencyFlags bool
+	// Obs, when non-nil, collects spans and metrics for the run: every
+	// phase becomes a span, and the worker pool reports occupancy, queue
+	// wait, and cell completion/skip counters. Nil disables collection
+	// with no per-cell allocations, keeping output byte-identical.
+	Obs *obs.Obs
 }
 
 func (o Options) wantsApp(id string) bool {
@@ -198,6 +241,14 @@ func (l *progressLog) logf(format string, args ...any) {
 	fmt.Fprintf(l.w, format+"\n", args...)
 }
 
+// poolJob is one unit of forEachIndexed work; enq carries the enqueue
+// time only when queue-wait tracking is on, so the disabled path stamps
+// nothing.
+type poolJob struct {
+	i   int
+	enq time.Time
+}
+
 // forEachIndexed runs work(ctx, i) for every i in [0, n) on a worker pool
 // bounded by workers (0 means GOMAXPROCS). Determinism comes from indexed
 // slots: each worker writes only to its own index, so the caller's
@@ -205,6 +256,11 @@ func (l *progressLog) logf(format string, args ...any) {
 // depend on scheduling. On failure the error with the lowest index wins;
 // remaining work is cancelled. A cancelled ctx stops dispatch and is
 // returned as ctx.Err().
+//
+// When ctx carries an obs registry, the pool reports itself: the
+// study_workers_busy gauge tracks occupancy (its peak is the effective
+// parallelism), study_queue_wait_seconds records how long each job sat
+// between enqueue and pickup, and study_jobs_total counts dispatches.
 func forEachIndexed(ctx context.Context, n, workers int, work func(ctx context.Context, i int) error) error {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -212,11 +268,15 @@ func forEachIndexed(ctx context.Context, n, workers int, work func(ctx context.C
 	if workers > n {
 		workers = n
 	}
+	meter := obs.From(ctx).Meter()
+	busy := meter.Gauge("study_workers_busy")
+	qwait := meter.Histogram("study_queue_wait_seconds")
+	jobsTotal := meter.Counter("study_jobs_total")
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	var (
 		wg   sync.WaitGroup
-		jobs = make(chan int)
+		jobs = make(chan poolJob)
 		errs = make([]error, n)
 	)
 	for w := 0; w < workers; w++ {
@@ -227,12 +287,17 @@ func forEachIndexed(ctx context.Context, n, workers int, work func(ctx context.C
 				select {
 				case <-ctx.Done():
 					return
-				case i, ok := <-jobs:
+				case j, ok := <-jobs:
 					if !ok {
 						return
 					}
-					if err := work(ctx, i); err != nil {
-						errs[i] = err
+					qwait.ObserveSince(j.enq)
+					jobsTotal.Inc()
+					busy.Add(1)
+					err := work(ctx, j.i)
+					busy.Add(-1)
+					if err != nil {
+						errs[j.i] = err
 						cancel()
 					}
 				}
@@ -241,10 +306,11 @@ func forEachIndexed(ctx context.Context, n, workers int, work func(ctx context.C
 	}
 feed:
 	for i := 0; i < n; i++ {
+		j := poolJob{i: i, enq: qwait.StartTimer()}
 		select {
 		case <-ctx.Done():
 			break feed
-		case jobs <- i:
+		case jobs <- j:
 		}
 	}
 	close(jobs)
@@ -268,17 +334,22 @@ func Run(opts Options) (*Results, error) {
 // context between basic blocks). Output is byte-identical to a sequential
 // run — see Options.Workers.
 func RunContext(ctx context.Context, opts Options) (*Results, error) {
+	ctx = opts.Obs.Inject(ctx)
+	ctx, studySpan := obs.StartSpan(ctx, "study")
+	defer studySpan.End()
 	base := machine.Base()
 	targets, err := opts.studyTargets()
 	if err != nil {
 		return nil, err
 	}
 	plog := newProgressLog(opts.Progress)
+	meter := opts.Obs.Meter()
 
 	res := &Results{
 		BaseName:  base.Name,
 		Probes:    make(map[string]*probes.Results),
 		Observed:  make(map[Key]map[string]float64),
+		Skips:     make(map[Key]map[string]Skip),
 		BaseTimes: make(map[Key]float64),
 		Traces:    make(map[Key]*trace.Trace),
 	}
@@ -290,7 +361,7 @@ func RunContext(ctx context.Context, opts Options) (*Results, error) {
 	all := append([]*machine.Config{base}, targets...)
 	prs := make([]*probes.Results, len(all))
 	err = forEachIndexed(ctx, len(all), opts.Workers, func(ctx context.Context, i int) error {
-		pr, err := probes.Measure(all[i])
+		pr, err := probes.MeasureContext(ctx, all[i])
 		if err != nil {
 			return fmt.Errorf("study: probing %s: %w", all[i].Name, err)
 		}
@@ -325,6 +396,7 @@ func RunContext(ctx context.Context, opts Options) (*Results, error) {
 		baseSeconds float64
 		tr          *trace.Trace
 		obs         map[string]float64
+		skips       map[string]Skip
 	}
 	var cellJobs []cellJob
 	for _, tc := range apps.Registry() {
@@ -337,10 +409,18 @@ func RunContext(ctx context.Context, opts Options) (*Results, error) {
 			cellJobs = append(cellJobs, cellJob{key: key, tc: tc, procs: procs})
 		}
 	}
+	completed := meter.Counter("study_cells_completed_total")
+	skippedTooLarge := meter.Counter("study_cells_skipped_toolarge_total")
+	skippedError := meter.Counter("study_cells_skipped_error_total")
 	slots := make([]cellOut, len(cellJobs))
 	err = forEachIndexed(ctx, len(cellJobs), opts.Workers, func(ctx context.Context, i int) error {
 		job := cellJobs[i]
 		key := job.key
+		ctx, cell := obs.StartSpan(ctx, "observe")
+		defer cell.End()
+		if cell != nil {
+			cell.Annotate("cell", key.String())
+		}
 		app, err := job.tc.Instance(job.procs)
 		if err != nil {
 			return fmt.Errorf("study: %s: %w", key, err)
@@ -352,7 +432,7 @@ func RunContext(ctx context.Context, opts Options) (*Results, error) {
 		}
 		out := cellOut{baseSeconds: baseRun.Seconds * opts.noise(key, base.Name)}
 
-		tr, err := trace.Collect(base, app)
+		tr, err := trace.CollectContext(ctx, base, app)
 		if err != nil {
 			return fmt.Errorf("study: tracing %s: %w", key, err)
 		}
@@ -366,13 +446,32 @@ func RunContext(ctx context.Context, opts Options) (*Results, error) {
 		out.obs = make(map[string]float64, len(targets))
 		for _, cfg := range targets {
 			run, err := simexec.ExecuteContext(ctx, execTarget(cfg), app)
-			if errors.Is(err, simexec.ErrTooLarge) {
-				continue // missing cell, like the paper's blanks
-			}
-			if err != nil {
-				return fmt.Errorf("study: observing %s on %s: %w", key, cfg.Name, err)
+			switch {
+			case errors.Is(err, simexec.ErrTooLarge):
+				// Missing cell, like the paper's blanks.
+				if out.skips == nil {
+					out.skips = make(map[string]Skip)
+				}
+				out.skips[cfg.Name] = Skip{Reason: SkipTooLarge, Detail: err.Error()}
+				skippedTooLarge.Inc()
+				continue
+			case err != nil:
+				if ctx.Err() != nil {
+					return fmt.Errorf("study: observing %s on %s: %w", key, cfg.Name, err)
+				}
+				// A real per-target failure loses one observation, not
+				// the run: record it so reports can show ERR, and audit
+				// the grid via Results.Skips.
+				if out.skips == nil {
+					out.skips = make(map[string]Skip)
+				}
+				out.skips[cfg.Name] = Skip{Reason: SkipError, Detail: err.Error()}
+				skippedError.Inc()
+				plog.logf("observation %s on %s failed: %v", key, cfg.Name, err)
+				continue
 			}
 			out.obs[cfg.Name] = run.Seconds * opts.noise(key, cfg.Name)
+			completed.Inc()
 		}
 		slots[i] = out
 		plog.logf("observed %s on %d systems (base %.0f s)", key, len(out.obs), baseRun.Seconds)
@@ -385,6 +484,9 @@ func RunContext(ctx context.Context, opts Options) (*Results, error) {
 		res.BaseTimes[job.key] = slots[i].baseSeconds
 		res.Traces[job.key] = slots[i].tr
 		res.Observed[job.key] = slots[i].obs
+		if len(slots[i].skips) > 0 {
+			res.Skips[job.key] = slots[i].skips
+		}
 	}
 
 	// Stage 3: the 9 × 150 predictions.
@@ -393,19 +495,27 @@ func RunContext(ctx context.Context, opts Options) (*Results, error) {
 		if err := ctx.Err(); err != nil {
 			return nil, fmt.Errorf("study: %w", err)
 		}
+		mctx, mspan := obs.StartSpan(ctx, "predict")
+		if mspan != nil {
+			mspan.Annotate("metric", m.Label())
+		}
+		predictLatency := meter.Histogram(fmt.Sprintf("study_predict_seconds_metric_%02d", m.ID))
 		for _, key := range res.Cells {
 			for _, name := range res.TargetNames {
 				actual, ok := res.Observed[key][name]
 				if !ok {
 					continue
 				}
-				pred, err := m.Predict(metrics.Context{
+				t0 := predictLatency.StartTimer()
+				pred, err := m.PredictContext(mctx, metrics.Context{
 					Trace:       res.Traces[key],
 					Base:        basePr,
 					Target:      res.Probes[name],
 					BaseSeconds: res.BaseTimes[key],
 				})
+				predictLatency.ObserveSince(t0)
 				if err != nil {
+					mspan.End()
 					return nil, fmt.Errorf("study: metric %s on %s/%s: %w", m.Label(), key, name, err)
 				}
 				res.Predictions = append(res.Predictions, Prediction{
@@ -418,13 +528,17 @@ func RunContext(ctx context.Context, opts Options) (*Results, error) {
 				})
 			}
 		}
+		mspan.End()
 		plog.logf("metric %s done", m.Label())
 	}
 
 	// Stage 4: balanced rating (fixed and optimized weights).
+	_, balSpan := obs.StartSpan(ctx, "balanced")
 	if err := res.runBalanced(); err != nil {
+		balSpan.End()
 		return nil, err
 	}
+	balSpan.End()
 	plog.logf("balanced rating: fixed %.0f%%, optimized %.0f%% at weights %.2v",
 		res.Balanced.FixedSummary.MeanAbs, res.Balanced.OptSummary.MeanAbs, res.Balanced.OptWeights)
 

@@ -9,6 +9,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"hpcmetrics/internal/obs"
 )
 
 // sliceOptions is the 2-app × 2-machine study slice used by the -short
@@ -233,7 +235,9 @@ func TestAggregationHelpers(t *testing.T) {
 // (pool, slots, cancellation plumbing) exercised under `go test -race
 // -short ./...` without the full study's wall-clock.
 func TestStudySliceShort(t *testing.T) {
-	res, err := Run(sliceOptions())
+	opts := sliceOptions()
+	opts.Obs = obs.New()
+	res, err := Run(opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -254,6 +258,84 @@ func TestStudySliceShort(t *testing.T) {
 		if p.Predicted <= 0 || math.IsNaN(p.Predicted) || math.IsInf(p.Predicted, 0) {
 			t.Fatalf("bad prediction %+v", p)
 		}
+	}
+
+	// The run was traced: every pipeline phase must appear in the span
+	// tree, with counts tied to the slice's shape.
+	counts := map[string]int64{}
+	for _, st := range opts.Obs.Tracer.PhaseStats() {
+		counts[st.Path] = st.Count
+	}
+	wantCounts := map[string]int64{
+		"study":               1,
+		"study/probe":         3, // base + 2 targets
+		"study/observe":       6, // one per cell
+		"study/observe/trace": 6,
+		"study/observe/exec":  18, // per cell: base + 2 targets
+		"study/predict":       9,  // one per metric
+		"study/balanced":      1,
+	}
+	for path, want := range wantCounts {
+		if counts[path] != want {
+			t.Errorf("span count %s = %d, want %d", path, counts[path], want)
+		}
+	}
+	if counts["study/predict/convolve"] == 0 {
+		t.Error("no convolve spans under study/predict")
+	}
+	completed := opts.Obs.Metrics.Counter("study_cells_completed_total").Value()
+	if got, want := completed, int64(res.ObservationCount()); got != want {
+		t.Errorf("completed counter = %d, want %d (one per observation)", got, want)
+	}
+	if n := opts.Obs.Metrics.Counter("study_cells_skipped_toolarge_total").Value(); n != 0 {
+		t.Errorf("too-large counter = %d, want 0 (every slice cell fits)", n)
+	}
+	if len(res.Skips) != 0 {
+		t.Errorf("slice recorded %d skip cells, want none", len(res.Skips))
+	}
+}
+
+// TestStudySkipReasons runs a slice whose target is smaller than two of
+// the app's CPU counts: both absent cells must be recorded as
+// job-too-large skips (the paper's expected blanks), not errors.
+func TestStudySkipReasons(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs an extra study slice")
+	}
+	opts := Options{
+		Apps:    []string{"avus-large"},
+		Targets: []string{"ARL_690_1.7"}, // 128 procs: avus-large@256/384 cannot fit
+		Obs:     obs.New(),
+	}
+	res, err := Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.SkipCounts()[SkipTooLarge]; got != 2 {
+		t.Errorf("too-large skips = %d, want 2", got)
+	}
+	if got := res.SkipCounts()[SkipError]; got != 0 {
+		t.Errorf("error skips = %d, want 0", got)
+	}
+	for _, procs := range []int{256, 384} {
+		key := Key{App: "avus", Case: "large", Procs: procs}
+		s, ok := res.SkipFor(key, "ARL_690_1.7")
+		if !ok {
+			t.Errorf("no skip recorded for %s", key)
+			continue
+		}
+		if s.Reason != SkipTooLarge || !strings.Contains(s.Detail, "exceeds machine size") {
+			t.Errorf("skip for %s = %+v, want job-too-large", key, s)
+		}
+		if _, observed := res.Observed[key]["ARL_690_1.7"]; observed {
+			t.Errorf("%s observed despite its skip", key)
+		}
+	}
+	if got := opts.Obs.Metrics.Counter("study_cells_skipped_toolarge_total").Value(); got != 2 {
+		t.Errorf("too-large counter = %d, want 2", got)
+	}
+	if got := opts.Obs.Metrics.Counter("study_cells_completed_total").Value(); got != 1 {
+		t.Errorf("completed counter = %d, want 1 (only the 128-CPU cell fits)", got)
 	}
 }
 

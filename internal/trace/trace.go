@@ -24,12 +24,14 @@
 package trace
 
 import (
+	"context"
 	"fmt"
 
 	"hpcmetrics/internal/access"
 	"hpcmetrics/internal/cpusim"
 	"hpcmetrics/internal/machine"
 	"hpcmetrics/internal/netsim"
+	"hpcmetrics/internal/obs"
 	"hpcmetrics/internal/workload"
 )
 
@@ -109,12 +111,22 @@ func sampleSize(ws int64) int {
 
 // Collect traces the application on the base system.
 func Collect(base *machine.Config, app *workload.App) (*Trace, error) {
+	return CollectContext(context.Background(), base, app)
+}
+
+// CollectContext is Collect with cancellation and tracing: the context is
+// consulted between basic blocks — the unit of replay cost — and the
+// whole collection is one "trace" span when the context carries a tracer.
+func CollectContext(ctx context.Context, base *machine.Config, app *workload.App) (*Trace, error) {
+	_, span := obs.StartSpan(ctx, "trace")
+	defer span.End()
 	if err := base.Validate(); err != nil {
 		return nil, fmt.Errorf("trace: %w", err)
 	}
 	if err := app.Validate(); err != nil {
 		return nil, fmt.Errorf("trace: %w", err)
 	}
+	span.Annotate("app", app.ID())
 
 	tr := &Trace{
 		App: app.Name, Case: app.Case, Procs: app.Procs,
@@ -123,6 +135,9 @@ func Collect(base *machine.Config, app *workload.App) (*Trace, error) {
 	}
 
 	for i := range app.Blocks {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("trace: %s: %w", app.ID(), err)
+		}
 		bt, err := traceBlock(base, &app.Blocks[i])
 		if err != nil {
 			return nil, fmt.Errorf("trace: %s/%s: %w", app.ID(), app.Blocks[i].Name, err)
