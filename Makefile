@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race race-full lint bench bench-study trace-smoke profile fmt
+.PHONY: build test race race-full lint bench bench-study trace-smoke chaos profile fmt
 
 build:
 	$(GO) build ./...
@@ -53,6 +53,32 @@ trace-smoke:
 		-cpuprofile trace-smoke-out/cpu.pprof \
 		> trace-smoke-out/phases.csv
 	$(GO) run ./cmd/tracecheck trace-smoke-out/spans.jsonl trace-smoke-out/manifest.json
+
+# chaos exercises the fault-injected, self-healing harness end to end.
+# First the chaos tests under the race detector: a transient storm must
+# retry to results byte-identical to a clean run, a permanent fault must
+# cost skips (with attempt counts) and never the run, and a killed
+# checkpointed study must resume without re-executing journaled cells.
+# Then a chaotic metricstudy run — transients everywhere, one target
+# permanently broken — produces the chaos-out/ artifact: every table
+# including the skip/attempts table and the retry counters, plus the
+# span log, manifest, and metrics dump, which cmd/tracecheck validates
+# (including the retry/fault counter algebra).
+chaos:
+	$(GO) test -race -timeout 30m \
+		-run 'TestStudyTransientStormConverges|TestStudyPermanentFaultSkipsNotCrashes|TestStudyCheckpointResume|TestStudyResumeRejectsDifferentOptions' \
+		./internal/study
+	$(GO) test -race -timeout 30m -run 'TestTable4BytesIdenticalUnderTransientStorm' .
+	mkdir -p chaos-out
+	$(GO) run ./cmd/metricstudy -quiet -csv \
+		-apps avus-standard -targets ARL_Opteron,MHPCC_P3 \
+		-faults 'transient:simexec.block:1:2,permanent:simexec.block:1:1::MHPCC_P3' \
+		-max-attempts 4 -checkpoint chaos-out/study.ckpt \
+		-spans chaos-out/spans.jsonl \
+		-manifest chaos-out/manifest.json \
+		-prom chaos-out/metrics.prom \
+		> chaos-out/tables.csv
+	$(GO) run ./cmd/tracecheck chaos-out/spans.jsonl chaos-out/manifest.json chaos-out/metrics.prom
 
 # profile runs the same slice with the Go profilers wired in and prints
 # the top CPU consumers; profile-out/ also gets the heap profile.

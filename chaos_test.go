@@ -1,0 +1,61 @@
+package hpcmetrics_test
+
+// Root-level chaos smoke: the public API's view of the robustness PR.
+// A study slice run under a transient fault storm must render the exact
+// same Table 4 bytes as a clean run of the same slice — injected chaos,
+// retried to completion, is invisible in the paper's tables. Kept
+// -short-safe so `make chaos` can run it under -race.
+
+import (
+	"testing"
+
+	"hpcmetrics"
+)
+
+func chaosSliceOptions() hpcmetrics.StudyOptions {
+	return hpcmetrics.StudyOptions{
+		Apps:    []string{"avus-standard"},
+		Targets: []string{"ARL_Opteron", "MHPCC_P3"},
+	}
+}
+
+func TestTable4BytesIdenticalUnderTransientStorm(t *testing.T) {
+	clean, err := hpcmetrics.RunStudyWithOptions(chaosSliceOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	stormy := chaosSliceOptions()
+	stormy.MaxAttempts = 4
+	stormy.Faults = hpcmetrics.NewFaultInjector(1, hpcmetrics.FaultRule{
+		Point: "simexec.block", Kind: hpcmetrics.FaultTransient, Rate: 1, Burst: 2,
+	})
+	res, err := hpcmetrics.RunStudyWithOptions(stormy)
+	if err != nil {
+		t.Fatalf("transient storm crashed the study: %v", err)
+	}
+	if fired := stormy.Faults.Fired(hpcmetrics.FaultTransient); fired == 0 {
+		t.Fatal("no transient faults fired; the storm never happened")
+	}
+
+	cleanCSV := hpcmetrics.Table4(clean).CSV()
+	stormCSV := hpcmetrics.Table4(res).CSV()
+	if cleanCSV != stormCSV {
+		t.Errorf("Table 4 bytes differ between clean and storm runs\nclean:\n%s\nstorm:\n%s", cleanCSV, stormCSV)
+	}
+	if tab := hpcmetrics.SkipTable(res); len(tab.Rows) != 0 {
+		t.Errorf("storm run recorded %d skips, want none (transients heal under retry)", len(tab.Rows))
+	}
+}
+
+// TestParseFaultRulesPublicSurface sanity-checks the re-exported rule
+// grammar end to end: the -faults CLI path goes through exactly this.
+func TestParseFaultRulesPublicSurface(t *testing.T) {
+	rules, err := hpcmetrics.ParseFaultRules("transient:simexec.block:1:2")
+	if err != nil || len(rules) != 1 {
+		t.Fatalf("ParseFaultRules = (%v, %v), want one rule", rules, err)
+	}
+	if _, err := hpcmetrics.ParseFaultRules("transient:bogus:1"); err == nil {
+		t.Error("unknown injection point accepted")
+	}
+}

@@ -6,9 +6,11 @@
 // benchmark.
 //
 // Both runs are traced, and the report embeds the parallel run's
-// per-phase aggregates plus a run manifest, so BENCH_study.json trends
-// stay attributable: a regression shows which phase moved and on what
-// toolchain/host it was measured.
+// per-phase aggregates, its robustness counters (retries, timeouts,
+// skipped cells), and a run manifest, so BENCH_study.json trends stay
+// attributable: a regression shows which phase moved and on what
+// toolchain/host it was measured, and a nonzero retry count flags that
+// the timing was taken on a re-executing run.
 //
 // Usage:
 //
@@ -24,6 +26,7 @@ import (
 	"runtime"
 	"runtime/pprof"
 	rtrace "runtime/trace"
+	"strings"
 	"time"
 
 	"hpcmetrics/internal/obs"
@@ -31,14 +34,31 @@ import (
 )
 
 type report struct {
-	GOMAXPROCS        int             `json:"gomaxprocs"`
-	Apps              []string        `json:"apps"`
-	Targets           []string        `json:"targets"`
-	SequentialSeconds float64         `json:"sequential_seconds"`
-	ParallelSeconds   float64         `json:"parallel_seconds"`
-	Speedup           float64         `json:"speedup"`
-	Phases            []obs.PhaseStat `json:"phases"`
-	Manifest          obs.Manifest    `json:"manifest"`
+	GOMAXPROCS        int              `json:"gomaxprocs"`
+	Apps              []string         `json:"apps"`
+	Targets           []string         `json:"targets"`
+	SequentialSeconds float64          `json:"sequential_seconds"`
+	ParallelSeconds   float64          `json:"parallel_seconds"`
+	Speedup           float64          `json:"speedup"`
+	Phases            []obs.PhaseStat  `json:"phases"`
+	Counters          map[string]int64 `json:"counters,omitempty"`
+	Manifest          obs.Manifest     `json:"manifest"`
+}
+
+// robustnessCounters extracts the retry/skip counters from a run's
+// metrics snapshot so the bench report records whether the timed run
+// was clean or re-executing work.
+func robustnessCounters(snap obs.Snapshot) map[string]int64 {
+	out := make(map[string]int64)
+	for _, c := range snap.Counters {
+		for _, prefix := range []string{"retry_", "faults_", "study_cells_", "study_checkpoint_"} {
+			if strings.HasPrefix(c.Name, prefix) {
+				out[c.Name] = c.Value
+				break
+			}
+		}
+	}
+	return out
 }
 
 func main() {
@@ -103,6 +123,7 @@ func main() {
 		ParallelSeconds:   par.Seconds(),
 		Speedup:           seq.Seconds() / par.Seconds(),
 		Phases:            parObs.Tracer.PhaseStats(),
+		Counters:          robustnessCounters(parObs.Metrics.Snapshot()),
 		Manifest:          manifest,
 	}
 	buf, err := json.MarshalIndent(r, "", "  ")

@@ -10,10 +10,19 @@
 // the run manifest; -cpuprofile, -memprofile, and -tracefile wire the
 // standard Go profilers in.
 //
+// Robustness controls: -max-attempts and -cell-timeout give every
+// probe/trace/observe unit a retry budget and a per-attempt deadline;
+// -checkpoint journals completed work so a cancelled or crashed study
+// can be re-run with -resume and pick up where it left off; -faults and
+// -fault-seed arm the deterministic chaos injector (internal/faults).
+//
 // Usage:
 //
 //	metricstudy [-csv] [-quiet] [-only <section>] [-ablate <ingredient>]
 //	            [-apps a,b] [-targets x,y] [-workers n]
+//	            [-max-attempts n] [-cell-timeout d]
+//	            [-checkpoint f.ckpt] [-resume]
+//	            [-faults rules] [-fault-seed n]
 //	            [-trace] [-spans f.jsonl] [-manifest f.json] [-prom f.txt]
 //	            [-cpuprofile f] [-memprofile f] [-tracefile f]
 package main
@@ -70,6 +79,12 @@ func run() error {
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this path")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this path")
 	tracefile := flag.String("tracefile", "", "write a runtime/trace execution trace to this path")
+	maxAttempts := flag.Int("max-attempts", 0, "per-unit retry budget (0 or 1 = single attempt)")
+	cellTimeout := flag.Duration("cell-timeout", 0, "per-attempt deadline for each probe/trace/observe unit (0 = none)")
+	checkpoint := flag.String("checkpoint", "", "journal completed work to this checkpoint file")
+	resume := flag.Bool("resume", false, "resume from an existing -checkpoint journal instead of starting fresh")
+	faultsSpec := flag.String("faults", "", "chaos fault rules, comma-separated kind:point:rate[:burst[:stall[:match]]]")
+	faultSeed := flag.Uint64("fault-seed", 1, "seed for the deterministic fault injector")
 	flag.Parse()
 
 	if *cpuprofile != "" {
@@ -100,10 +115,25 @@ func run() error {
 		progress = nil
 	}
 	opts := study.Options{
-		Progress: progress,
-		Apps:     splitList(*appsFlag),
-		Targets:  splitList(*targetsFlag),
-		Workers:  *workers,
+		Progress:       progress,
+		Apps:           splitList(*appsFlag),
+		Targets:        splitList(*targetsFlag),
+		Workers:        *workers,
+		MaxAttempts:    *maxAttempts,
+		CellTimeout:    *cellTimeout,
+		CheckpointPath: *checkpoint,
+		Resume:         *resume,
+	}
+	if *resume && *checkpoint == "" {
+		return fmt.Errorf("-resume needs -checkpoint")
+	}
+	if *faultsSpec != "" {
+		rules, err := hpcmetrics.ParseFaultRules(*faultsSpec)
+		if err != nil {
+			return err
+		}
+		opts.Faults = hpcmetrics.NewFaultInjector(*faultSeed, rules...)
+		fmt.Fprintf(os.Stderr, "metricstudy: chaos active — %d fault rule(s), seed %d\n", len(rules), *faultSeed)
 	}
 	switch *ablate {
 	case "":
@@ -266,10 +296,15 @@ func exportObs(opts study.Options, spansPath, manifestPath, promPath, ablate str
 		m := obs.NewManifest()
 		m.Seed = fmt.Sprintf("fnv1a-noise-amp=%g", study.NoiseAmplitude)
 		m.Options = map[string]any{
-			"apps":    opts.Apps,
-			"targets": opts.Targets,
-			"workers": opts.Workers,
-			"ablate":  ablate,
+			"apps":         opts.Apps,
+			"targets":      opts.Targets,
+			"workers":      opts.Workers,
+			"ablate":       ablate,
+			"max_attempts": opts.MaxAttempts,
+			"cell_timeout": opts.CellTimeout.String(),
+			"checkpoint":   opts.CheckpointPath,
+			"resume":       opts.Resume,
+			"chaos":        opts.Faults != nil,
 		}
 		m.SpanFile = spansPath
 		if err := m.WriteFile(manifestPath); err != nil {

@@ -1,16 +1,23 @@
 // Command tracecheck validates trace-smoke artifacts: it parses a span
 // log (JSONL) and a run manifest, and fails unless the span log is
 // well-formed, covers the study's phases, and the manifest is complete.
-// CI runs it after a traced -short study to catch export regressions.
+// With an optional third argument — the Prometheus metrics dump — it
+// also checks the retry/fault counter algebra: retries, timeouts, and
+// give-ups can never exceed attempts, and the per-kind fault counters
+// must sum to the total. CI runs it after the traced -short study and
+// the chaos run to catch export regressions.
 //
 // Usage:
 //
-//	tracecheck spans.jsonl manifest.json
+//	tracecheck spans.jsonl manifest.json [metrics.prom]
 package main
 
 import (
+	"bufio"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 
 	"hpcmetrics/internal/obs"
 )
@@ -26,8 +33,8 @@ func main() {
 var requiredPhases = []string{"study", "probe", "observe", "trace", "predict", "convolve", "balanced"}
 
 func run() error {
-	if len(os.Args) != 3 {
-		return fmt.Errorf("usage: tracecheck spans.jsonl manifest.json")
+	if len(os.Args) != 3 && len(os.Args) != 4 {
+		return fmt.Errorf("usage: tracecheck spans.jsonl manifest.json [metrics.prom]")
 	}
 	spansPath, manifestPath := os.Args[1], os.Args[2]
 
@@ -80,7 +87,65 @@ func run() error {
 		return fmt.Errorf("%s: %w", manifestPath, err)
 	}
 
+	if len(os.Args) == 4 {
+		if err := checkCounters(os.Args[3]); err != nil {
+			return err
+		}
+	}
+
 	fmt.Printf("tracecheck: %d spans across %d phase names, manifest complete (%s, GOMAXPROCS=%d)\n",
 		len(recs), len(names), m.GoVersion, m.GOMAXPROCS)
 	return nil
+}
+
+// checkCounters reads a Prometheus text dump and validates the retry and
+// fault-injection counter algebra.
+func checkCounters(path string) error {
+	counters, err := readProm(path)
+	if err != nil {
+		return err
+	}
+	attempts := counters["retry_attempts_total"]
+	for _, name := range []string{"retry_retries_total", "retry_timeouts_total", "retry_giveups_total"} {
+		if counters[name] > attempts {
+			return fmt.Errorf("%s: %s=%d exceeds retry_attempts_total=%d", path, name, counters[name], attempts)
+		}
+	}
+	var perKind int64
+	for _, kind := range []string{"transient", "stall", "permanent"} {
+		perKind += counters["faults_injected_"+kind+"_total"]
+	}
+	if total := counters["faults_injected_total"]; total != perKind {
+		return fmt.Errorf("%s: faults_injected_total=%d but per-kind counters sum to %d", path, total, perKind)
+	}
+	fmt.Printf("tracecheck: counters consistent (%d retry attempts, %d faults injected)\n",
+		attempts, counters["faults_injected_total"])
+	return nil
+}
+
+// readProm collects the plain name/value samples of a Prometheus text
+// dump (labeled and histogram series are skipped — the counter algebra
+// above only needs the scalars).
+func readProm(path string) (map[string]int64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	out := make(map[string]int64)
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") || strings.Contains(line, "{") {
+			continue
+		}
+		name, value, ok := strings.Cut(line, " ")
+		if !ok {
+			continue
+		}
+		if v, err := strconv.ParseInt(strings.TrimSpace(value), 10, 64); err == nil {
+			out[name] = v
+		}
+	}
+	return out, sc.Err()
 }

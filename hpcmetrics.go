@@ -39,6 +39,7 @@ import (
 
 	"hpcmetrics/internal/apps"
 	"hpcmetrics/internal/convolve"
+	"hpcmetrics/internal/faults"
 	"hpcmetrics/internal/machine"
 	"hpcmetrics/internal/metrics"
 	"hpcmetrics/internal/obs"
@@ -195,11 +196,50 @@ type (
 // NewObs returns an observability bundle to pass in StudyOptions.Obs.
 func NewObs() *Obs { return obs.New() }
 
+// Robustness: the deterministic fault injector and the retry/checkpoint
+// controls that let a study survive — and be tested under — transient
+// failures, stalls, and crashes (see internal/faults, internal/retry,
+// and StudyOptions.CellTimeout/MaxAttempts/CheckpointPath/Resume).
+type (
+	// FaultInjector arms deterministic faults at the pipeline's named
+	// injection points; pass it in StudyOptions.Faults.
+	FaultInjector = faults.Injector
+	// FaultRule arms one fault kind at one injection point.
+	FaultRule = faults.Rule
+	// FaultKind is a class of injected fault.
+	FaultKind = faults.Kind
+)
+
+// Fault kinds: a healing failure, a context-aware latency stall, and a
+// failure no retry fixes.
+const (
+	FaultTransient = faults.Transient
+	FaultStall     = faults.Stall
+	FaultPermanent = faults.Permanent
+)
+
+// Injected-fault sentinels: every injected failure wraps one of these,
+// so errors.Is can tell chaos from a real model error.
+var (
+	ErrInjectedTransient = faults.ErrTransient
+	ErrInjectedPermanent = faults.ErrPermanent
+)
+
+// NewFaultInjector builds a fault injector from a jitter seed and a rule
+// set; an empty rule set never fires.
+func NewFaultInjector(seed uint64, rules ...FaultRule) *FaultInjector {
+	return faults.New(seed, rules...)
+}
+
+// ParseFaultRules parses the -faults CLI grammar: comma-separated
+// "kind:point:rate[:burst[:stall[:match]]]" rules.
+func ParseFaultRules(spec string) ([]FaultRule, error) { return faults.ParseRules(spec) }
+
 // PhaseTable renders the per-phase self/total time table of a traced run.
 func PhaseTable(stats []PhaseStat) *ReportTable { return report.PhaseTable(stats) }
 
 // SkipTable renders the appendix-style skipped-observation report with
-// reasons (job-too-large vs. error).
+// reasons (job-too-large vs. error vs. timeout) and attempt counts.
 func SkipTable(res *StudyResults) *ReportTable { return report.SkipTable(res) }
 
 // RunStudy executes the full reproduction: probes all systems, observes

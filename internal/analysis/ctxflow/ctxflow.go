@@ -1,6 +1,9 @@
 // Package ctxflow enforces context-cancellation discipline in the
-// parallel study harness (internal/study and internal/simexec) and its
-// observability layer (internal/obs).
+// parallel study harness (internal/study and internal/simexec), its
+// observability layer (internal/obs), and its robustness layer
+// (internal/retry and internal/faults) — retry loops and injected
+// stalls are exactly the shapes that turn a missed ctx.Done into a
+// hang.
 //
 // The harness fans the 1,350-prediction grid out over a worker pool; a
 // goroutine or unbounded loop there that cannot be cancelled turns every
@@ -54,7 +57,7 @@ import (
 // Analyzer is the ctxflow check.
 var Analyzer = &framework.Analyzer{
 	Name: "ctxflow",
-	Doc: "requires functions in internal/study, internal/simexec, and internal/obs that spawn goroutines " +
+	Doc: "requires functions in internal/study, internal/simexec, internal/obs, internal/retry, and internal/faults that spawn goroutines " +
 		"or loop unboundedly (directly or via same-package callees) to accept a context.Context " +
 		"and consult it; flags call sites that sever cancellation with context.Background()/TODO() " +
 		"or drop it into ctx-less callees, goroutines that capture a ctx without consulting it, " +
@@ -66,7 +69,9 @@ var Analyzer = &framework.Analyzer{
 func scoped(pkgPath string) bool {
 	return strings.Contains(pkgPath, "internal/study") ||
 		strings.Contains(pkgPath, "internal/simexec") ||
-		strings.Contains(pkgPath, "internal/obs")
+		strings.Contains(pkgPath, "internal/obs") ||
+		strings.Contains(pkgPath, "internal/retry") ||
+		strings.Contains(pkgPath, "internal/faults")
 }
 
 // graphKey keys the propagated call graph in the pass's fact store, so a

@@ -9,5 +9,6 @@ import (
 
 func TestCtxflow(t *testing.T) {
 	analysistest.Run(t, "testdata", ctxflow.Analyzer,
-		"internal/study", "internal/simexec", "internal/obs", "pipeline")
+		"internal/study", "internal/simexec", "internal/obs",
+		"internal/retry", "internal/faults", "pipeline")
 }

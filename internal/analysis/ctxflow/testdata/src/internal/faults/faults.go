@@ -1,0 +1,45 @@
+// Package faults is in ctxflow's scope: an injected stall that ignores
+// its context is a hang the per-cell deadline can never reclaim.
+package faults
+
+import (
+	"context"
+	"time"
+)
+
+type injector struct{ delay time.Duration }
+
+// faultCtx is the carrier shape: embedding the live ctx in a composite
+// literal counts as forwarding, so inject has no dead parameter.
+type faultCtx struct {
+	context.Context
+	in *injector
+}
+
+func (in *injector) inject(ctx context.Context) context.Context {
+	return &faultCtx{Context: ctx, in: in}
+}
+
+// stall is the accepted stall shape: the sleep selects on ctx.Done, so
+// a deadline reclaims it.
+func (in *injector) stall(ctx context.Context) error {
+	t := time.NewTimer(in.delay)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// stallDeaf receives a ctx, never consults it, and passes it nowhere —
+// an injected stall no deadline can end.
+func stallDeaf(ctx context.Context, d time.Duration) { // want `stallDeaf receives a context.Context but never consults it and passes it nowhere`
+	time.Sleep(d)
+}
+
+func pollInjector(done func() bool) { // want `pollInjector contains an unbounded loop but takes no context.Context`
+	for !done() {
+	}
+}

@@ -1,0 +1,246 @@
+// Checkpoint format: the study's crash-recovery journal.
+//
+// A checkpoint is a line-delimited file — one JSON header line followed
+// by one JSON line per completed unit of study work (a probed machine or
+// an observed cell). Each record line carries a CRC-32 checksum of its
+// payload, so a file torn by a crash or a concurrent reader is detected
+// at the first bad line and truncated back to the good prefix rather
+// than misread; the header carries the same format/version guard as the
+// rest of the package plus a tag fingerprinting the study options, so a
+// resume against a checkpoint from a different study fails loudly.
+// Every write goes through writeAtomic: a reader sees either the old
+// complete journal or the new one, never a half-appended record.
+
+package persist
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"sync"
+
+	"hpcmetrics/internal/probes"
+	"hpcmetrics/internal/trace"
+)
+
+const formatCheckpoint = "hpcmetrics-checkpoint"
+
+// Record stages: a probed machine, or a fully observed cell.
+const (
+	StageProbe = "probe"
+	StageCell  = "cell"
+)
+
+// CheckpointSkip mirrors study.Skip without importing internal/study
+// (study imports persist, not the other way around).
+type CheckpointSkip struct {
+	Reason   string `json:"reason"`
+	Detail   string `json:"detail,omitempty"`
+	Attempts int    `json:"attempts,omitempty"`
+}
+
+// CellRecord is one completed unit of study work. Stage selects which
+// fields are meaningful: StageProbe carries Probes for the machine named
+// by Key; StageCell carries the cell's base time, trace, per-target
+// observations, and skips. A cell that failed outright (nil Trace, only
+// Skips) is still a completed unit — resuming must not retry it.
+type CellRecord struct {
+	Stage       string                    `json:"stage"`
+	Key         string                    `json:"key"`
+	Probes      *probes.Results           `json:"probes,omitempty"`
+	BaseSeconds float64                   `json:"base_seconds,omitempty"`
+	Trace       *trace.Trace              `json:"trace,omitempty"`
+	Observed    map[string]float64        `json:"observed,omitempty"`
+	Skips       map[string]CheckpointSkip `json:"skips,omitempty"`
+}
+
+// checkpointHeader is the journal's first line.
+type checkpointHeader struct {
+	Format  string `json:"format"`
+	Version int    `json:"version"`
+	Tag     string `json:"tag,omitempty"`
+}
+
+// recordLine wraps one record with its checksum.
+type recordLine struct {
+	Record json.RawMessage `json:"record"`
+	CRC    string          `json:"crc"`
+}
+
+// Checkpoint is an append-only journal of completed study work. All
+// methods are safe for concurrent use and nil-safe: a nil *Checkpoint
+// (no checkpointing configured) looks up nothing and appends nowhere,
+// so call sites stay unconditional.
+type Checkpoint struct {
+	path string
+	tag  string
+
+	mu      sync.Mutex
+	data    []byte         // guarded by mu; the serialized journal
+	records []CellRecord   // guarded by mu
+	index   map[string]int // guarded by mu; stage|key → records index
+	dropped int            // guarded by mu; torn/corrupt lines discarded on open
+}
+
+// CreateCheckpoint starts a fresh journal at path, replacing any
+// existing file.
+func CreateCheckpoint(path, tag string) (*Checkpoint, error) {
+	hdr, err := json.Marshal(checkpointHeader{Format: formatCheckpoint, Version: FormatVersion, Tag: tag})
+	if err != nil {
+		return nil, fmt.Errorf("persist: %w", err)
+	}
+	data := append(hdr, '\n')
+	if err := writeAtomic(path, data); err != nil {
+		return nil, fmt.Errorf("persist: %w", err)
+	}
+	return &Checkpoint{path: path, tag: tag, data: data, index: make(map[string]int)}, nil
+}
+
+// OpenCheckpoint loads the journal at path for resuming. A missing file
+// starts a fresh journal; a header with the wrong format, version, or
+// tag is an error; a torn or corrupt record truncates the journal back
+// to its good prefix (the file is rewritten clean). Dropped reports how
+// many lines that cost.
+func OpenCheckpoint(path, tag string) (*Checkpoint, error) {
+	raw, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return CreateCheckpoint(path, tag)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("persist: %w", err)
+	}
+	lines := bytes.Split(raw, []byte("\n"))
+	var hdr checkpointHeader
+	if len(lines) == 0 || json.Unmarshal(lines[0], &hdr) != nil {
+		return nil, fmt.Errorf("persist: %s is not a checkpoint file", path)
+	}
+	if hdr.Format != formatCheckpoint {
+		return nil, fmt.Errorf("persist: %s holds %q, want %q", path, hdr.Format, formatCheckpoint)
+	}
+	if hdr.Version != FormatVersion {
+		return nil, fmt.Errorf("persist: %s is checkpoint version %d, this build reads %d", path, hdr.Version, FormatVersion)
+	}
+	if hdr.Tag != tag {
+		return nil, fmt.Errorf("persist: checkpoint %s was written by a study with different options (tag %q, want %q)",
+			path, hdr.Tag, tag)
+	}
+	var (
+		records []CellRecord
+		index   = make(map[string]int)
+		dropped int
+		data    = append(append([]byte{}, lines[0]...), '\n')
+	)
+	for _, line := range lines[1:] {
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
+		rec, ok := decodeRecord(line)
+		if !ok {
+			// Torn tail or flipped bits: everything from here on is
+			// untrustworthy. Keep the good prefix only.
+			dropped++
+			break
+		}
+		index[rec.Stage+"|"+rec.Key] = len(records)
+		records = append(records, rec)
+		data = append(append(data, line...), '\n')
+	}
+	if dropped > 0 {
+		// Rewrite the journal clean so the corruption cannot resurface.
+		if err := writeAtomic(path, data); err != nil {
+			return nil, fmt.Errorf("persist: %w", err)
+		}
+	}
+	return &Checkpoint{path: path, tag: tag, data: data, records: records, index: index, dropped: dropped}, nil
+}
+
+// decodeRecord parses one journal line, verifying its checksum.
+func decodeRecord(line []byte) (CellRecord, bool) {
+	var rl recordLine
+	if json.Unmarshal(line, &rl) != nil || rl.Record == nil {
+		return CellRecord{}, false
+	}
+	if fmt.Sprintf("%08x", crc32.ChecksumIEEE(rl.Record)) != rl.CRC {
+		return CellRecord{}, false
+	}
+	var rec CellRecord
+	if json.Unmarshal(rl.Record, &rec) != nil || rec.Stage == "" || rec.Key == "" {
+		return CellRecord{}, false
+	}
+	return rec, true
+}
+
+// Append journals one completed unit and rewrites the file atomically.
+// Appending a (stage, key) that is already journaled replaces nothing —
+// the first record wins, matching Lookup.
+func (c *Checkpoint) Append(rec CellRecord) error {
+	if c == nil {
+		return nil
+	}
+	if rec.Stage == "" || rec.Key == "" {
+		return fmt.Errorf("persist: checkpoint record needs a stage and a key")
+	}
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("persist: encoding checkpoint record: %w", err)
+	}
+	line, err := json.Marshal(recordLine{Record: payload, CRC: fmt.Sprintf("%08x", crc32.ChecksumIEEE(payload))})
+	if err != nil {
+		return fmt.Errorf("persist: %w", err)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, dup := c.index[rec.Stage+"|"+rec.Key]; !dup {
+		c.index[rec.Stage+"|"+rec.Key] = len(c.records)
+		c.records = append(c.records, rec)
+		c.data = append(append(c.data, line...), '\n')
+	}
+	if err := writeAtomic(c.path, c.data); err != nil {
+		return fmt.Errorf("persist: %w", err)
+	}
+	return nil
+}
+
+// Lookup returns the journaled record for one (stage, key), if any.
+func (c *Checkpoint) Lookup(stage, key string) (CellRecord, bool) {
+	if c == nil {
+		return CellRecord{}, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	i, ok := c.index[stage+"|"+key]
+	if !ok {
+		return CellRecord{}, false
+	}
+	return c.records[i], true
+}
+
+// Len reports how many units are journaled.
+func (c *Checkpoint) Len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.records)
+}
+
+// Dropped reports how many corrupt lines OpenCheckpoint discarded.
+func (c *Checkpoint) Dropped() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.dropped
+}
+
+// Path returns the journal's file path, or "" for a nil checkpoint.
+func (c *Checkpoint) Path() string {
+	if c == nil {
+		return ""
+	}
+	return c.path
+}

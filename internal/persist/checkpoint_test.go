@@ -1,0 +1,277 @@
+package persist
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func ckptPath(t *testing.T) string {
+	t.Helper()
+	return filepath.Join(t.TempDir(), "study.ckpt")
+}
+
+func mustAppend(t *testing.T, c *Checkpoint, rec CellRecord) {
+	t.Helper()
+	if err := c.Append(rec); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	path := ckptPath(t)
+	c, err := CreateCheckpoint(path, "tag-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustAppend(t, c, CellRecord{Stage: StageProbe, Key: "ARL_Opteron", BaseSeconds: 0})
+	mustAppend(t, c, CellRecord{
+		Stage: StageCell, Key: "avus-standard@64",
+		BaseSeconds: 1234.5678901234567,
+		Observed:    map[string]float64{"ARL_Opteron": 99.25},
+		Skips:       map[string]CheckpointSkip{"MHPCC_P3": {Reason: "error", Detail: "boom", Attempts: 3}},
+	})
+
+	r, err := OpenCheckpoint(path, "tag-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 2 || r.Dropped() != 0 {
+		t.Fatalf("reopened Len=%d Dropped=%d, want 2, 0", r.Len(), r.Dropped())
+	}
+	rec, ok := r.Lookup(StageCell, "avus-standard@64")
+	if !ok {
+		t.Fatal("cell record missing after reopen")
+	}
+	// encoding/json round-trips float64 exactly; resumed results must be
+	// bit-identical.
+	if rec.BaseSeconds != 1234.5678901234567 || rec.Observed["ARL_Opteron"] != 99.25 {
+		t.Errorf("numeric fields did not round-trip exactly: %+v", rec)
+	}
+	if s := rec.Skips["MHPCC_P3"]; s.Reason != "error" || s.Attempts != 3 {
+		t.Errorf("skip did not round-trip: %+v", s)
+	}
+	if _, ok := r.Lookup(StageProbe, "nowhere"); ok {
+		t.Error("Lookup invented a record")
+	}
+}
+
+// TestCheckpointTornTailTruncated: a crash mid-line leaves a torn tail;
+// reopening keeps the good prefix, reports the drop, and rewrites the
+// file clean so the corruption cannot resurface.
+func TestCheckpointTornTailTruncated(t *testing.T) {
+	path := ckptPath(t)
+	c, err := CreateCheckpoint(path, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustAppend(t, c, CellRecord{Stage: StageProbe, Key: "good"})
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	torn := append(append([]byte{}, raw...), []byte(`{"record":{"stage":"cell","key":"to`)...)
+	if err := os.WriteFile(path, torn, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := OpenCheckpoint(path, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 1 || r.Dropped() != 1 {
+		t.Fatalf("Len=%d Dropped=%d, want 1, 1", r.Len(), r.Dropped())
+	}
+	if _, ok := r.Lookup(StageProbe, "good"); !ok {
+		t.Error("good prefix record lost")
+	}
+	clean, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(clean, raw) {
+		t.Error("reopen did not rewrite the journal back to its good prefix")
+	}
+}
+
+// TestCheckpointBadChecksumDropped: a record whose payload no longer
+// matches its CRC — flipped bits — is discarded along with everything
+// after it.
+func TestCheckpointBadChecksumDropped(t *testing.T) {
+	path := ckptPath(t)
+	c, err := CreateCheckpoint(path, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustAppend(t, c, CellRecord{Stage: StageProbe, Key: "first"})
+	mustAppend(t, c, CellRecord{Stage: StageCell, Key: "second"})
+	mustAppend(t, c, CellRecord{Stage: StageCell, Key: "third"})
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip a payload byte inside the second record without touching its CRC.
+	mangled := strings.Replace(string(raw), `"key":"second"`, `"key":"seconX"`, 1)
+	if mangled == string(raw) {
+		t.Fatal("test setup: second record not found in journal")
+	}
+	if err := os.WriteFile(path, []byte(mangled), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := OpenCheckpoint(path, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 1 || r.Dropped() != 1 {
+		t.Fatalf("Len=%d Dropped=%d, want 1 kept and the rest dropped", r.Len(), r.Dropped())
+	}
+	if _, ok := r.Lookup(StageCell, "third"); ok {
+		t.Error("record after the corrupt line survived; trust must end at the first bad line")
+	}
+}
+
+func TestCheckpointHeaderGuards(t *testing.T) {
+	t.Run("wrong-version", func(t *testing.T) {
+		path := ckptPath(t)
+		if err := os.WriteFile(path, []byte(`{"format":"hpcmetrics-checkpoint","version":999}`+"\n"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := OpenCheckpoint(path, ""); err == nil || !strings.Contains(err.Error(), "version") {
+			t.Errorf("wrong version opened with err=%v, want version error", err)
+		}
+	})
+	t.Run("wrong-format", func(t *testing.T) {
+		path := ckptPath(t)
+		if err := os.WriteFile(path, []byte(`{"format":"something-else","version":1}`+"\n"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := OpenCheckpoint(path, ""); err == nil {
+			t.Error("wrong format opened cleanly")
+		}
+	})
+	t.Run("not-json", func(t *testing.T) {
+		path := ckptPath(t)
+		if err := os.WriteFile(path, []byte("not a checkpoint\n"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := OpenCheckpoint(path, ""); err == nil {
+			t.Error("garbage header opened cleanly")
+		}
+	})
+	t.Run("tag-mismatch", func(t *testing.T) {
+		path := ckptPath(t)
+		if _, err := CreateCheckpoint(path, "apps=a;targets=x"); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := OpenCheckpoint(path, "apps=b;targets=y"); err == nil || !strings.Contains(err.Error(), "different options") {
+			t.Errorf("tag mismatch opened with err=%v, want options error", err)
+		}
+	})
+	t.Run("missing-file-creates", func(t *testing.T) {
+		path := ckptPath(t)
+		r, err := OpenCheckpoint(path, "t")
+		if err != nil || r.Len() != 0 {
+			t.Fatalf("OpenCheckpoint on missing file = (%v, Len %d), want fresh journal", err, r.Len())
+		}
+		if _, err := os.Stat(path); err != nil {
+			t.Errorf("fresh journal not written: %v", err)
+		}
+	})
+}
+
+func TestCheckpointDuplicateFirstWins(t *testing.T) {
+	c, err := CreateCheckpoint(ckptPath(t), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustAppend(t, c, CellRecord{Stage: StageCell, Key: "k", BaseSeconds: 1})
+	mustAppend(t, c, CellRecord{Stage: StageCell, Key: "k", BaseSeconds: 2})
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d after duplicate append, want 1", c.Len())
+	}
+	rec, _ := c.Lookup(StageCell, "k")
+	if rec.BaseSeconds != 1 {
+		t.Errorf("duplicate append replaced the first record: %+v", rec)
+	}
+}
+
+// TestCheckpointConcurrentAppendAndOpen races writers against readers of
+// the same path: writeAtomic's rename means a concurrent open sees a
+// complete journal prefix, never a partial record.
+func TestCheckpointConcurrentAppendAndOpen(t *testing.T) {
+	path := ckptPath(t)
+	c, err := CreateCheckpoint(path, "race")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				key := string(rune('a'+w)) + "-" + string(rune('0'+i%10))
+				if err := c.Append(CellRecord{Stage: StageCell, Key: key, BaseSeconds: float64(i)}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				rc, err := OpenCheckpoint(path, "race")
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if rc.Dropped() != 0 {
+					t.Errorf("concurrent reader saw %d corrupt lines; atomic rename must prevent torn reads", rc.Dropped())
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	final, err := OpenCheckpoint(path, "race")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.Len() != 40 || final.Dropped() != 0 {
+		t.Errorf("final journal Len=%d Dropped=%d, want 40 distinct keys, 0 dropped", final.Len(), final.Dropped())
+	}
+}
+
+func TestCheckpointNilSafe(t *testing.T) {
+	var c *Checkpoint
+	if err := c.Append(CellRecord{Stage: StageCell, Key: "k"}); err != nil {
+		t.Errorf("nil Append = %v, want nil", err)
+	}
+	if _, ok := c.Lookup(StageCell, "k"); ok {
+		t.Error("nil Lookup found a record")
+	}
+	if c.Len() != 0 || c.Dropped() != 0 || c.Path() != "" {
+		t.Error("nil accessors must read zero values")
+	}
+}
+
+func TestCheckpointAppendValidates(t *testing.T) {
+	c, err := CreateCheckpoint(ckptPath(t), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Append(CellRecord{Stage: StageCell}); err == nil {
+		t.Error("Append accepted a record without a key")
+	}
+	if err := c.Append(CellRecord{Key: "k"}); err == nil {
+		t.Error("Append accepted a record without a stage")
+	}
+}

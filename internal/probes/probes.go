@@ -26,6 +26,7 @@ import (
 
 	"hpcmetrics/internal/access"
 	"hpcmetrics/internal/cpusim"
+	"hpcmetrics/internal/faults"
 	"hpcmetrics/internal/machine"
 	"hpcmetrics/internal/memsim"
 	"hpcmetrics/internal/netsim"
@@ -298,21 +299,27 @@ func MeasureContext(ctx context.Context, cfg *machine.Config) (*Results, error) 
 	span.Annotate("machine", cfg.Name)
 	res := &Results{Machine: cfg.Name, OverlapFraction: cfg.MemOverlapFraction}
 
-	steps := []func() error{
-		func() (err error) { res.HPLFlopsPerSec, err = HPL(cfg); return err },
-		func() (err error) { res.StreamBytesPerSec, err = STREAM(cfg); return err },
-		func() (err error) { res.GUPSRefsPerSec, err = GUPS(cfg); return err },
-		func() (err error) { res.MAPSUnit, err = MAPS(cfg, MAPSUnitStride, nil, false); return err },
-		func() (err error) { res.MAPSRandom, err = MAPS(cfg, MAPSRandomStride, nil, false); return err },
-		func() (err error) { res.DepUnit, err = MAPS(cfg, MAPSUnitStride, nil, true); return err },
-		func() (err error) { res.DepRandom, err = MAPS(cfg, MAPSRandomStride, nil, true); return err },
-		func() (err error) { res.Net, err = Netbench(cfg); return err },
+	steps := []struct {
+		name string
+		run  func() error
+	}{
+		{"hpl", func() (err error) { res.HPLFlopsPerSec, err = HPL(cfg); return err }},
+		{"stream", func() (err error) { res.StreamBytesPerSec, err = STREAM(cfg); return err }},
+		{"gups", func() (err error) { res.GUPSRefsPerSec, err = GUPS(cfg); return err }},
+		{"maps-unit", func() (err error) { res.MAPSUnit, err = MAPS(cfg, MAPSUnitStride, nil, false); return err }},
+		{"maps-random", func() (err error) { res.MAPSRandom, err = MAPS(cfg, MAPSRandomStride, nil, false); return err }},
+		{"dep-unit", func() (err error) { res.DepUnit, err = MAPS(cfg, MAPSUnitStride, nil, true); return err }},
+		{"dep-random", func() (err error) { res.DepRandom, err = MAPS(cfg, MAPSRandomStride, nil, true); return err }},
+		{"netbench", func() (err error) { res.Net, err = Netbench(cfg); return err }},
 	}
 	for _, step := range steps {
 		if err := ctx.Err(); err != nil {
 			return nil, fmt.Errorf("probes: %s: %w", cfg.Name, err)
 		}
-		if err := step(); err != nil {
+		if err := faults.Hit(ctx, faults.PointProbeStep, cfg.Name, step.name); err != nil {
+			return nil, fmt.Errorf("probes: %s/%s: %w", cfg.Name, step.name, err)
+		}
+		if err := step.run(); err != nil {
 			return nil, err
 		}
 	}

@@ -75,12 +75,15 @@ func RegistryTable(snap obs.Snapshot) *Table {
 }
 
 // SkipTable is the appendix-style skip report: every absent observation
-// with its reason. Too-large cells are the paper's expected blanks;
-// error rows are observations the run lost to a real failure.
+// with its reason and how many attempts the harness spent on it, so a
+// cell that failed after three retries is distinguishable from one that
+// failed fast. Too-large cells are the paper's expected blanks; error
+// and timeout rows are observations the run lost to a real failure or a
+// reclaimed stall.
 func SkipTable(res *study.Results) *Table {
 	t := &Table{
 		Title:   "Skipped observations",
-		Columns: []string{"Cell", "System", "Reason", "Detail"},
+		Columns: []string{"Cell", "System", "Reason", "Attempts", "Detail"},
 	}
 	for _, key := range res.Cells {
 		for _, name := range res.TargetNames {
@@ -88,7 +91,9 @@ func SkipTable(res *study.Results) *Table {
 			if !ok {
 				continue
 			}
-			t.Rows = append(t.Rows, []string{key.String(), name, string(s.Reason), s.Detail})
+			t.Rows = append(t.Rows, []string{
+				key.String(), name, string(s.Reason), fmt.Sprintf("%d", s.Attempts), s.Detail,
+			})
 		}
 	}
 	return t

@@ -50,13 +50,13 @@ func TestSkipTable(t *testing.T) {
 	res := fixture()
 	k := res.Cells[1]
 	res.Skips = map[study.Key]map[string]study.Skip{
-		k: {"SYS_B": {Reason: study.SkipTooLarge, Detail: "64 cpus exceed system size"}},
+		k: {"SYS_B": {Reason: study.SkipTooLarge, Detail: "64 cpus exceed system size", Attempts: 1}},
 	}
 	tab := SkipTable(res)
 	if len(tab.Rows) != 1 {
 		t.Fatalf("skip rows = %d, want 1", len(tab.Rows))
 	}
-	want := []string{k.String(), "SYS_B", "job-too-large", "64 cpus exceed system size"}
+	want := []string{k.String(), "SYS_B", "job-too-large", "1", "64 cpus exceed system size"}
 	if !reflect.DeepEqual(tab.Rows[0], want) {
 		t.Errorf("skip row = %v, want %v", tab.Rows[0], want)
 	}

@@ -200,8 +200,8 @@ func (fs *FigureSeries) Table() *Table {
 // ObservedTable renders one application's observed times-to-solution — the
 // analogs of the paper's Appendix tables 6-10. Missing cells (jobs larger
 // than the machine) render as "--", like the paper's blanks; cells lost
-// to a real execution failure render as "ERR" (see SkipTable for the
-// details).
+// to a real execution failure render as "ERR", cells whose attempts all
+// outlived the cell deadline as "T/O" (see SkipTable for the details).
 func ObservedTable(res *study.Results, appID string) (*Table, error) {
 	cells := res.AppCells(appID)
 	if len(cells) == 0 {
@@ -222,6 +222,8 @@ func ObservedTable(res *study.Results, appID string) (*Table, error) {
 				row = append(row, fmt.Sprintf("%.0f", v))
 			} else if s, ok := res.SkipFor(key, name); ok && s.Reason == study.SkipError {
 				row = append(row, "ERR")
+			} else if ok && s.Reason == study.SkipTimeout {
+				row = append(row, "T/O")
 			} else {
 				row = append(row, "--")
 			}

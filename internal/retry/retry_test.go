@@ -1,0 +1,173 @@
+package retry
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"hpcmetrics/internal/obs"
+)
+
+var errBoom = errors.New("boom")
+
+// fastPolicy keeps test backoffs in the microsecond range.
+func fastPolicy(attempts int) Policy {
+	return Policy{MaxAttempts: attempts, BaseDelay: time.Microsecond, MaxDelay: 10 * time.Microsecond}
+}
+
+func TestDoSucceedsFirstAttempt(t *testing.T) {
+	attempts, err := Do(context.Background(), Policy{}, "site", func(context.Context) error { return nil })
+	if err != nil || attempts != 1 {
+		t.Errorf("Do = (%d, %v), want (1, nil)", attempts, err)
+	}
+}
+
+func TestDoRetriesUntilSuccess(t *testing.T) {
+	calls := 0
+	attempts, err := Do(context.Background(), fastPolicy(5), "site", func(context.Context) error {
+		calls++
+		if calls < 3 {
+			return errBoom
+		}
+		return nil
+	})
+	if err != nil || attempts != 3 || calls != 3 {
+		t.Errorf("Do = (%d, %v) after %d calls, want (3, nil) after 3", attempts, err, calls)
+	}
+}
+
+func TestDoExhaustionReturnsLastError(t *testing.T) {
+	attempts, err := Do(context.Background(), fastPolicy(3), "site", func(context.Context) error {
+		return errBoom
+	})
+	if attempts != 3 || !errors.Is(err, errBoom) {
+		t.Errorf("Do = (%d, %v), want (3, errBoom)", attempts, err)
+	}
+}
+
+// TestDoPermanentFailsFast: the classifier's word is final — a
+// non-retryable error ends the loop on attempt one.
+func TestDoPermanentFailsFast(t *testing.T) {
+	p := fastPolicy(5)
+	p.Retryable = func(err error) bool { return !errors.Is(err, errBoom) }
+	calls := 0
+	attempts, err := Do(context.Background(), p, "site", func(context.Context) error {
+		calls++
+		return errBoom
+	})
+	if attempts != 1 || calls != 1 || !errors.Is(err, errBoom) {
+		t.Errorf("Do = (%d, %v) after %d calls, want (1, errBoom) after 1", attempts, err, calls)
+	}
+}
+
+// TestDoAttemptTimeoutRetries: a deadline expiry is always retryable,
+// even under a classifier that rejects everything.
+func TestDoAttemptTimeoutRetries(t *testing.T) {
+	p := fastPolicy(2)
+	p.AttemptTimeout = time.Millisecond
+	p.Retryable = func(error) bool { return false }
+	calls := 0
+	attempts, err := Do(context.Background(), p, "site", func(actx context.Context) error {
+		calls++
+		<-actx.Done()
+		return actx.Err()
+	})
+	if attempts != 2 || calls != 2 || !TimedOut(err) {
+		t.Errorf("Do = (%d, %v) after %d calls, want (2, DeadlineExceeded) after 2", attempts, err, calls)
+	}
+}
+
+func TestDoParentCancelledBeforeStart(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	attempts, err := Do(ctx, fastPolicy(3), "site", func(context.Context) error {
+		t.Fatal("op ran under a dead parent")
+		return nil
+	})
+	if attempts != 0 || !errors.Is(err, context.Canceled) {
+		t.Errorf("Do = (%d, %v), want (0, context.Canceled)", attempts, err)
+	}
+}
+
+// TestDoCancelMidBackoff: cancelling the parent during a backoff sleep
+// returns promptly, and errors.Is finds both the attempt's failure and
+// the cancellation.
+func TestDoCancelMidBackoff(t *testing.T) {
+	p := Policy{MaxAttempts: 3, BaseDelay: time.Hour, MaxDelay: time.Hour}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	attempts, err := Do(ctx, p, "site", func(context.Context) error { return errBoom })
+	if el := time.Since(start); el > 5*time.Second {
+		t.Errorf("cancel took %v to surface, want prompt", el)
+	}
+	if attempts != 1 {
+		t.Errorf("attempts = %d, want 1", attempts)
+	}
+	if !errors.Is(err, context.Canceled) || !errors.Is(err, errBoom) {
+		t.Errorf("err = %v, want both context.Canceled and errBoom", err)
+	}
+}
+
+// TestDoParentCancelMidAttempt: when the parent dies during an attempt,
+// the attempt's own error surfaces and no retry runs.
+func TestDoParentCancelMidAttempt(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	calls := 0
+	attempts, err := Do(ctx, fastPolicy(3), "site", func(context.Context) error {
+		calls++
+		cancel()
+		return errBoom
+	})
+	if attempts != 1 || calls != 1 || !errors.Is(err, errBoom) {
+		t.Errorf("Do = (%d, %v) after %d calls, want (1, errBoom) after 1", attempts, err, calls)
+	}
+}
+
+// TestBackoffDeterministicCappedJittered pins the backoff contract:
+// same (policy, site, attempt) — same pause; doubling; cap respected
+// including the 1.5x jitter ceiling; jitter keeps sites apart.
+func TestBackoffDeterministicCappedJittered(t *testing.T) {
+	p := Policy{BaseDelay: 10 * time.Millisecond, MaxDelay: 80 * time.Millisecond, Seed: 42}
+	if a, b := backoff(p, "site", 1), backoff(p, "site", 1); a != b {
+		t.Errorf("backoff not deterministic: %v vs %v", a, b)
+	}
+	for attempt := 1; attempt <= 10; attempt++ {
+		d := backoff(p, "site", attempt)
+		if d < 0 || d >= time.Duration(1.5*float64(p.MaxDelay)) {
+			t.Errorf("attempt %d backoff %v outside [0, 1.5*MaxDelay)", attempt, d)
+		}
+	}
+	if backoff(p, "alpha", 1) == backoff(p, "beta", 1) {
+		t.Error("jitter does not separate sites (possible, but with FNV vanishingly unlikely)")
+	}
+	j := jitter(7, "s", 3)
+	if j < 0 || j >= 1 {
+		t.Errorf("jitter = %v, want [0, 1)", j)
+	}
+}
+
+// TestDoCounters: attempts, retries, timeouts, and give-ups land on the
+// obs registry when the context carries one.
+func TestDoCounters(t *testing.T) {
+	o := obs.New()
+	ctx := o.Inject(context.Background())
+	_, err := Do(ctx, fastPolicy(3), "site", func(context.Context) error { return errBoom })
+	if !errors.Is(err, errBoom) {
+		t.Fatal(err)
+	}
+	for name, want := range map[string]int64{
+		"retry_attempts_total": 3,
+		"retry_retries_total":  2,
+		"retry_giveups_total":  1,
+		"retry_timeouts_total": 0,
+	} {
+		if got := o.Metrics.Counter(name).Value(); got != want {
+			t.Errorf("%s = %d, want %d", name, got, want)
+		}
+	}
+}

@@ -22,6 +22,7 @@ import (
 
 	"hpcmetrics/internal/access"
 	"hpcmetrics/internal/cpusim"
+	"hpcmetrics/internal/faults"
 	"hpcmetrics/internal/machine"
 	"hpcmetrics/internal/memsim"
 	"hpcmetrics/internal/netsim"
@@ -111,7 +112,8 @@ func Execute(cfg *machine.Config, app *workload.App) (*Result, error) {
 // harness runs many executions concurrently and must be able to abandon
 // in-flight work. The context is consulted between basic blocks — the
 // unit of simulation cost — so cancellation takes effect within one
-// block's cache-stream sample.
+// block's cache-stream sample. The same boundary is the
+// faults.PointExecBlock injection point, keyed by (machine, app).
 func ExecuteContext(ctx context.Context, cfg *machine.Config, app *workload.App) (*Result, error) {
 	ctx, span := obs.StartSpan(ctx, "exec")
 	defer span.End()
@@ -140,6 +142,9 @@ func ExecuteContext(ctx context.Context, cfg *machine.Config, app *workload.App)
 	for i := range app.Blocks {
 		if err := ctx.Err(); err != nil {
 			return nil, fmt.Errorf("simexec: %s: %w", app.ID(), err)
+		}
+		if err := faults.Hit(ctx, faults.PointExecBlock, cfg.Name, app.ID()); err != nil {
+			return nil, fmt.Errorf("simexec: %s on %s: %w", app.ID(), cfg.Name, err)
 		}
 		blk := &app.Blocks[i]
 		br, err := executeBlock(cfg, blk, hz)

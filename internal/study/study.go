@@ -17,14 +17,19 @@ import (
 	"io"
 	"runtime"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 
 	"hpcmetrics/internal/apps"
+	"hpcmetrics/internal/faults"
 	"hpcmetrics/internal/machine"
 	"hpcmetrics/internal/metrics"
 	"hpcmetrics/internal/obs"
+	"hpcmetrics/internal/persist"
 	"hpcmetrics/internal/probes"
+	"hpcmetrics/internal/retry"
 	"hpcmetrics/internal/simexec"
 	"hpcmetrics/internal/stats"
 	"hpcmetrics/internal/trace"
@@ -72,12 +77,19 @@ const (
 	// SkipError marks a cell whose target execution failed; the study
 	// records the failure and carries on with the remaining cells.
 	SkipError SkipReason = "error"
+	// SkipTimeout marks a cell whose attempts all outlived
+	// Options.CellTimeout — a stalled run reclaimed by its deadline.
+	SkipTimeout SkipReason = "timeout"
 )
 
 // Skip records why one (cell, system) observation is missing.
 type Skip struct {
 	Reason SkipReason
 	Detail string
+	// Attempts is how many attempts ran before the study gave up, so a
+	// cell that failed after three retries is distinguishable from one
+	// that failed fast. 0 on records predating attempt tracking.
+	Attempts int
 }
 
 // Results is everything the study produced.
@@ -165,6 +177,28 @@ type Options struct {
 	// wait, and cell completion/skip counters. Nil disables collection
 	// with no per-cell allocations, keeping output byte-identical.
 	Obs *obs.Obs
+	// CellTimeout bounds each attempt of a probe/trace/observe unit: a
+	// stalled simulation is reclaimed at the deadline and the attempt
+	// retried (see MaxAttempts) or recorded as SkipTimeout. 0 leaves
+	// attempts bounded only by the run's context.
+	CellTimeout time.Duration
+	// MaxAttempts is the per-unit attempt budget: transient failures
+	// and attempt timeouts are retried with capped exponential backoff
+	// and deterministic jitter until the budget is exhausted. 0 or 1
+	// means a single attempt — the pre-robustness behavior.
+	MaxAttempts int
+	// Faults, when non-nil, arms the pipeline's deterministic fault
+	// injector — the chaos harness. Nil injects nothing and costs
+	// nothing on the hot path, keeping output byte-identical.
+	Faults *faults.Injector
+	// CheckpointPath, when non-empty, journals every completed probe
+	// and observed cell through the persist checkpoint format, so a
+	// cancelled or crashed study can pick up where it left off.
+	CheckpointPath string
+	// Resume loads an existing CheckpointPath journal and skips the
+	// units it already holds instead of starting fresh. The journal's
+	// options tag must match this run's options.
+	Resume bool
 }
 
 func (o Options) wantsApp(id string) bool {
@@ -184,6 +218,43 @@ func (o Options) noise(key Key, machineName string) float64 {
 		return 1
 	}
 	return observationNoise(key, machineName)
+}
+
+// retryPolicy is the per-unit policy every probe/trace/observe cell
+// runs under. Backoff pacing is fixed; the budget and deadline come
+// from the options.
+func (o Options) retryPolicy() retry.Policy {
+	return retry.Policy{
+		MaxAttempts:    o.MaxAttempts,
+		AttemptTimeout: o.CellTimeout,
+		BaseDelay:      20 * time.Millisecond,
+		MaxDelay:       time.Second,
+		Retryable:      retryableErr,
+	}
+}
+
+// retryableErr classifies unit errors: in a deterministic simulator only
+// an injected transient fault heals on re-attempt — job-too-large,
+// validation failures, and model errors would fail identically again.
+// Attempt timeouts are classified inside retry.Do and always retry.
+func retryableErr(err error) bool { return errors.Is(err, faults.ErrTransient) }
+
+// skipReasonFor classifies a unit failure for Results.Skips.
+func skipReasonFor(err error) SkipReason {
+	if retry.TimedOut(err) {
+		return SkipTimeout
+	}
+	return SkipError
+}
+
+// optionsTag fingerprints the options that shape the study grid. A
+// checkpoint journal records it so a resume into a different grid (or a
+// different noise/ablation setting) fails loudly instead of splicing
+// incompatible results together.
+func (o Options) optionsTag() string {
+	return fmt.Sprintf("apps=%s;targets=%s;noise=%t;idle=%t;nodeps=%t",
+		strings.Join(o.Apps, ","), strings.Join(o.Targets, ","),
+		o.DisableNoise, o.IdleMemory, o.NoDependencyFlags)
 }
 
 // idle returns the machine with its loaded-memory gap removed, for the
@@ -253,7 +324,8 @@ type poolJob struct {
 // bounded by workers (0 means GOMAXPROCS). Determinism comes from indexed
 // slots: each worker writes only to its own index, so the caller's
 // aggregation order — and therefore the study's output bytes — does not
-// depend on scheduling. On failure the error with the lowest index wins;
+// depend on scheduling. On failure every worker error is reported,
+// joined lowest index first, so a multi-cell failure is fully visible;
 // remaining work is cancelled. A cancelled ctx stops dispatch and is
 // returned as ctx.Err().
 //
@@ -315,10 +387,8 @@ feed:
 	}
 	close(jobs)
 	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return err
-		}
+	if err := errors.Join(errs...); err != nil {
+		return err
 	}
 	return ctx.Err()
 }
@@ -335,6 +405,7 @@ func Run(opts Options) (*Results, error) {
 // run — see Options.Workers.
 func RunContext(ctx context.Context, opts Options) (*Results, error) {
 	ctx = opts.Obs.Inject(ctx)
+	ctx = opts.Faults.Inject(ctx)
 	ctx, studySpan := obs.StartSpan(ctx, "study")
 	defer studySpan.End()
 	base := machine.Base()
@@ -344,6 +415,23 @@ func RunContext(ctx context.Context, opts Options) (*Results, error) {
 	}
 	plog := newProgressLog(opts.Progress)
 	meter := opts.Obs.Meter()
+
+	// The checkpoint journal, when configured: every completed probe and
+	// cell is appended, and with Resume the journaled units are replayed
+	// instead of re-executed. Nil stays a no-op throughout.
+	var cp *persist.Checkpoint
+	if opts.CheckpointPath != "" {
+		if opts.Resume {
+			cp, err = persist.OpenCheckpoint(opts.CheckpointPath, opts.optionsTag())
+		} else {
+			cp, err = persist.CreateCheckpoint(opts.CheckpointPath, opts.optionsTag())
+		}
+		if err != nil {
+			return nil, fmt.Errorf("study: %w", err)
+		}
+	}
+	rp := opts.retryPolicy()
+	resumed := meter.Counter("study_checkpoint_resumed_total")
 
 	res := &Results{
 		BaseName:  base.Name,
@@ -358,15 +446,33 @@ func RunContext(ctx context.Context, opts Options) (*Results, error) {
 	}
 
 	// Stage 1: probe all machines (base + targets), one pool job each.
+	// Probes are load-bearing for every later prediction, so a probe
+	// that fails after its retry budget is a clean study error, not a
+	// skip — but a checkpointed probe is never re-measured.
 	all := append([]*machine.Config{base}, targets...)
 	prs := make([]*probes.Results, len(all))
 	err = forEachIndexed(ctx, len(all), opts.Workers, func(ctx context.Context, i int) error {
-		pr, err := probes.MeasureContext(ctx, all[i])
+		name := all[i].Name
+		if rec, ok := cp.Lookup(persist.StageProbe, name); ok && rec.Probes != nil {
+			prs[i] = rec.Probes
+			resumed.Inc()
+			plog.logf("resumed probe %s from checkpoint", name)
+			return nil
+		}
+		var pr *probes.Results
+		_, err := retry.Do(ctx, rp, "probe|"+name, func(ctx context.Context) error {
+			var err error
+			pr, err = probes.MeasureContext(ctx, all[i])
+			return err
+		})
 		if err != nil {
-			return fmt.Errorf("study: probing %s: %w", all[i].Name, err)
+			return fmt.Errorf("study: probing %s: %w", name, err)
 		}
 		prs[i] = pr
-		plog.logf("probed %s (HPL %.2f GF/s, STREAM %.2f GB/s)", all[i].Name,
+		if err := cp.Append(persist.CellRecord{Stage: persist.StageProbe, Key: name, Probes: pr}); err != nil {
+			return fmt.Errorf("study: %w", err)
+		}
+		plog.logf("probed %s (HPL %.2f GF/s, STREAM %.2f GB/s)", name,
 			pr.HPLFlopsPerSec/1e9, pr.StreamBytesPerSec/1e9)
 		return nil
 	})
@@ -398,6 +504,37 @@ func RunContext(ctx context.Context, opts Options) (*Results, error) {
 		obs         map[string]float64
 		skips       map[string]Skip
 	}
+	// recordFromCell / cellFromRecord move one completed cell in and out
+	// of the checkpoint journal. JSON round-trips float64 exactly, so a
+	// resumed run's numbers are bit-identical to an uninterrupted one.
+	recordFromCell := func(key Key, out cellOut) persist.CellRecord {
+		rec := persist.CellRecord{
+			Stage: persist.StageCell, Key: key.String(),
+			BaseSeconds: out.baseSeconds, Trace: out.tr, Observed: out.obs,
+		}
+		for name, s := range out.skips {
+			if rec.Skips == nil {
+				rec.Skips = make(map[string]persist.CheckpointSkip, len(out.skips))
+			}
+			rec.Skips[name] = persist.CheckpointSkip{Reason: string(s.Reason), Detail: s.Detail, Attempts: s.Attempts}
+		}
+		return rec
+	}
+	cellFromRecord := func(rec persist.CellRecord) cellOut {
+		out := cellOut{baseSeconds: rec.BaseSeconds, tr: rec.Trace, obs: rec.Observed}
+		if out.tr != nil && out.obs == nil {
+			// A completed cell always has an observation map, even when
+			// every target skipped; JSON omits empty maps.
+			out.obs = map[string]float64{}
+		}
+		for name, s := range rec.Skips {
+			if out.skips == nil {
+				out.skips = make(map[string]Skip, len(rec.Skips))
+			}
+			out.skips[name] = Skip{Reason: SkipReason(s.Reason), Detail: s.Detail, Attempts: s.Attempts}
+		}
+		return out
+	}
 	var cellJobs []cellJob
 	for _, tc := range apps.Registry() {
 		if !opts.wantsApp(tc.ID()) {
@@ -412,6 +549,17 @@ func RunContext(ctx context.Context, opts Options) (*Results, error) {
 	completed := meter.Counter("study_cells_completed_total")
 	skippedTooLarge := meter.Counter("study_cells_skipped_toolarge_total")
 	skippedError := meter.Counter("study_cells_skipped_error_total")
+	skippedTimeout := meter.Counter("study_cells_skipped_timeout_total")
+	countSkip := func(reason SkipReason, n int64) {
+		switch reason {
+		case SkipTooLarge:
+			skippedTooLarge.Add(n)
+		case SkipTimeout:
+			skippedTimeout.Add(n)
+		default:
+			skippedError.Add(n)
+		}
+	}
 	slots := make([]cellOut, len(cellJobs))
 	err = forEachIndexed(ctx, len(cellJobs), opts.Workers, func(ctx context.Context, i int) error {
 		job := cellJobs[i]
@@ -421,68 +569,143 @@ func RunContext(ctx context.Context, opts Options) (*Results, error) {
 		if cell != nil {
 			cell.Annotate("cell", key.String())
 		}
+		if rec, ok := cp.Lookup(persist.StageCell, key.String()); ok {
+			slots[i] = cellFromRecord(rec)
+			resumed.Inc()
+			if cell != nil {
+				cell.Annotate("resumed", "checkpoint")
+			}
+			plog.logf("resumed %s from checkpoint (%d observations)", key, len(slots[i].obs))
+			return nil
+		}
 		app, err := job.tc.Instance(job.procs)
 		if err != nil {
 			return fmt.Errorf("study: %s: %w", key, err)
 		}
 
-		baseRun, err := simexec.ExecuteContext(ctx, execTarget(base), app)
-		if err != nil {
-			return fmt.Errorf("study: base run %s: %w", key, err)
+		// Every unit below (base run, trace, per-target observation) is
+		// one retryable attempt sequence under the options' budget and
+		// deadline; retries counts the extras for the cell's span.
+		var retries int
+		runUnit := func(site string, op func(context.Context) error) (int, error) {
+			attempts, err := retry.Do(ctx, rp, site, op)
+			if attempts > 1 {
+				retries += attempts - 1
+			}
+			return attempts, err
 		}
-		out := cellOut{baseSeconds: baseRun.Seconds * opts.noise(key, base.Name)}
 
-		tr, err := trace.CollectContext(ctx, base, app)
-		if err != nil {
-			return fmt.Errorf("study: tracing %s: %w", key, err)
+		var out cellOut
+		// cellFailed downgrades a base/trace failure to a full row of
+		// skips: without them no target can be predicted, but losing one
+		// cell's row must not lose the run. Parent cancellation still
+		// aborts.
+		cellFailed := func(attempts int, err error) error {
+			if ctx.Err() != nil {
+				return fmt.Errorf("study: %s: %w", key, err)
+			}
+			reason := skipReasonFor(err)
+			out = cellOut{skips: make(map[string]Skip, len(targets))}
+			for _, cfg := range targets {
+				out.skips[cfg.Name] = Skip{Reason: reason, Detail: err.Error(), Attempts: attempts}
+			}
+			countSkip(reason, int64(len(targets)))
+			plog.logf("cell %s failed after %d attempts: %v", key, attempts, err)
+			return nil
 		}
-		if opts.NoDependencyFlags {
-			for i := range tr.Blocks {
-				tr.Blocks[i].ILPLimited = false
+
+		var baseRun *simexec.Result
+		attempts, err := runUnit("base|"+key.String(), func(ctx context.Context) error {
+			r, err := simexec.ExecuteContext(ctx, execTarget(base), app)
+			baseRun = r
+			return err
+		})
+		failed := err != nil
+		if failed {
+			if aerr := cellFailed(attempts, err); aerr != nil {
+				return aerr
 			}
 		}
-		out.tr = tr
-
-		out.obs = make(map[string]float64, len(targets))
-		for _, cfg := range targets {
-			run, err := simexec.ExecuteContext(ctx, execTarget(cfg), app)
-			switch {
-			case errors.Is(err, simexec.ErrTooLarge):
-				// Missing cell, like the paper's blanks.
-				if out.skips == nil {
-					out.skips = make(map[string]Skip)
+		if !failed {
+			var tr *trace.Trace
+			attempts, err = runUnit("trace|"+key.String(), func(ctx context.Context) error {
+				t, err := trace.CollectContext(ctx, base, app)
+				tr = t
+				return err
+			})
+			if err != nil {
+				failed = true
+				if aerr := cellFailed(attempts, err); aerr != nil {
+					return aerr
 				}
-				out.skips[cfg.Name] = Skip{Reason: SkipTooLarge, Detail: err.Error()}
-				skippedTooLarge.Inc()
-				continue
-			case err != nil:
-				if ctx.Err() != nil {
-					return fmt.Errorf("study: observing %s on %s: %w", key, cfg.Name, err)
+			} else {
+				if opts.NoDependencyFlags {
+					for i := range tr.Blocks {
+						tr.Blocks[i].ILPLimited = false
+					}
 				}
-				// A real per-target failure loses one observation, not
-				// the run: record it so reports can show ERR, and audit
-				// the grid via Results.Skips.
-				if out.skips == nil {
-					out.skips = make(map[string]Skip)
-				}
-				out.skips[cfg.Name] = Skip{Reason: SkipError, Detail: err.Error()}
-				skippedError.Inc()
-				plog.logf("observation %s on %s failed: %v", key, cfg.Name, err)
-				continue
+				out.baseSeconds = baseRun.Seconds * opts.noise(key, base.Name)
+				out.tr = tr
 			}
-			out.obs[cfg.Name] = run.Seconds * opts.noise(key, cfg.Name)
-			completed.Inc()
+		}
+		if !failed {
+			out.obs = make(map[string]float64, len(targets))
+			for _, cfg := range targets {
+				var run *simexec.Result
+				attempts, err := runUnit("observe|"+key.String()+"|"+cfg.Name, func(ctx context.Context) error {
+					r, err := simexec.ExecuteContext(ctx, execTarget(cfg), app)
+					run = r
+					return err
+				})
+				switch {
+				case errors.Is(err, simexec.ErrTooLarge):
+					// Missing cell, like the paper's blanks.
+					if out.skips == nil {
+						out.skips = make(map[string]Skip)
+					}
+					out.skips[cfg.Name] = Skip{Reason: SkipTooLarge, Detail: err.Error(), Attempts: attempts}
+					skippedTooLarge.Inc()
+					continue
+				case err != nil:
+					if ctx.Err() != nil {
+						return fmt.Errorf("study: observing %s on %s: %w", key, cfg.Name, err)
+					}
+					// A real per-target failure loses one observation, not
+					// the run: record it so reports can show ERR, and audit
+					// the grid via Results.Skips.
+					reason := skipReasonFor(err)
+					if out.skips == nil {
+						out.skips = make(map[string]Skip)
+					}
+					out.skips[cfg.Name] = Skip{Reason: reason, Detail: err.Error(), Attempts: attempts}
+					countSkip(reason, 1)
+					plog.logf("observation %s on %s failed after %d attempts: %v", key, cfg.Name, attempts, err)
+					continue
+				}
+				out.obs[cfg.Name] = run.Seconds * opts.noise(key, cfg.Name)
+				completed.Inc()
+			}
+		}
+		if cell != nil && retries > 0 {
+			cell.Annotate("retries", strconv.Itoa(retries))
 		}
 		slots[i] = out
-		plog.logf("observed %s on %d systems (base %.0f s)", key, len(out.obs), baseRun.Seconds)
+		if err := cp.Append(recordFromCell(key, out)); err != nil {
+			return fmt.Errorf("study: %w", err)
+		}
+		if !failed {
+			plog.logf("observed %s on %d systems (base %.0f s)", key, len(out.obs), baseRun.Seconds)
+		}
 		return nil
 	})
 	if err != nil {
 		return nil, err
 	}
 	for i, job := range cellJobs {
-		res.BaseTimes[job.key] = slots[i].baseSeconds
-		res.Traces[job.key] = slots[i].tr
+		if slots[i].tr != nil {
+			res.BaseTimes[job.key] = slots[i].baseSeconds
+			res.Traces[job.key] = slots[i].tr
+		}
 		res.Observed[job.key] = slots[i].obs
 		if len(slots[i].skips) > 0 {
 			res.Skips[job.key] = slots[i].skips

@@ -29,6 +29,7 @@ import (
 
 	"hpcmetrics/internal/access"
 	"hpcmetrics/internal/cpusim"
+	"hpcmetrics/internal/faults"
 	"hpcmetrics/internal/machine"
 	"hpcmetrics/internal/netsim"
 	"hpcmetrics/internal/obs"
@@ -137,6 +138,9 @@ func CollectContext(ctx context.Context, base *machine.Config, app *workload.App
 	for i := range app.Blocks {
 		if err := ctx.Err(); err != nil {
 			return nil, fmt.Errorf("trace: %s: %w", app.ID(), err)
+		}
+		if err := faults.Hit(ctx, faults.PointTraceBlock, app.ID(), app.Blocks[i].Name); err != nil {
+			return nil, fmt.Errorf("trace: %s/%s: %w", app.ID(), app.Blocks[i].Name, err)
 		}
 		bt, err := traceBlock(base, &app.Blocks[i])
 		if err != nil {
