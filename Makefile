@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race race-full lint bench bench-study trace-smoke chaos profile fmt
+.PHONY: build test race race-full lint lint-fixtures bench bench-study trace-smoke chaos profile fmt
 
 build:
 	$(GO) build ./...
@@ -25,10 +25,20 @@ race:
 race-full:
 	$(GO) test -race -timeout 40m ./...
 
-# lint = go vet + the repo's own analyzer suite (cmd/hpclint).
+# lint = go vet + module-wide self-application of the repo's own analyzer
+# suite (cmd/hpclint), plus a suppression audit: the //hpclint:ignore
+# inventory must match the committed allowlist exactly, so a new
+# suppression cannot slip in without a reviewed lint-suppressions.txt
+# change (and a stale allowlist entry fails too).
 lint:
 	$(GO) vet ./...
 	$(GO) run ./cmd/hpclint ./...
+	$(GO) run ./cmd/hpclint -suppressions ./... | diff -u lint-suppressions.txt -
+
+# lint-fixtures runs the analyzer unit and fixture tests (the analyzers'
+# own correctness, as opposed to lint's application of them to the repo).
+lint-fixtures:
+	$(GO) test ./internal/analysis/...
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ ./...

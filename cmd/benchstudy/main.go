@@ -29,20 +29,27 @@ import (
 	"strings"
 	"time"
 
+	"hpcmetrics/internal/analysis"
 	"hpcmetrics/internal/obs"
 	"hpcmetrics/internal/study"
 )
 
 type report struct {
-	GOMAXPROCS        int              `json:"gomaxprocs"`
-	Apps              []string         `json:"apps"`
-	Targets           []string         `json:"targets"`
-	SequentialSeconds float64          `json:"sequential_seconds"`
-	ParallelSeconds   float64          `json:"parallel_seconds"`
-	Speedup           float64          `json:"speedup"`
-	Phases            []obs.PhaseStat  `json:"phases"`
-	Counters          map[string]int64 `json:"counters,omitempty"`
-	Manifest          obs.Manifest     `json:"manifest"`
+	GOMAXPROCS        int      `json:"gomaxprocs"`
+	Apps              []string `json:"apps"`
+	Targets           []string `json:"targets"`
+	SequentialSeconds float64  `json:"sequential_seconds"`
+	ParallelSeconds   float64  `json:"parallel_seconds"`
+	Speedup           float64  `json:"speedup"`
+	// HpclintSeconds is the wall time of one module-wide hpclint pass
+	// (load + type-check + all analyzers over HpclintPackages packages),
+	// so analyzer cost is part of the perf trajectory alongside the study
+	// itself. Zero when the module tree is not reachable from the cwd.
+	HpclintSeconds  float64          `json:"hpclint_seconds,omitempty"`
+	HpclintPackages int              `json:"hpclint_packages,omitempty"`
+	Phases          []obs.PhaseStat  `json:"phases"`
+	Counters        map[string]int64 `json:"counters,omitempty"`
+	Manifest        obs.Manifest     `json:"manifest"`
 }
 
 // robustnessCounters extracts the retry/skip counters from a run's
@@ -126,6 +133,17 @@ func main() {
 		Counters:          robustnessCounters(parObs.Metrics.Snapshot()),
 		Manifest:          manifest,
 	}
+
+	// One module-wide hpclint pass, timed (the BenchmarkHpclintModule
+	// counterpart for the JSON trend). Non-fatal: run from outside the
+	// module tree there is nothing to analyze.
+	lintStart := time.Now()
+	if lintRes, err := analysis.Run([]string{"./..."}, analysis.All()); err != nil {
+		log.Printf("benchstudy: hpclint timing skipped: %v", err)
+	} else {
+		r.HpclintSeconds = time.Since(lintStart).Seconds()
+		r.HpclintPackages = lintRes.Packages
+	}
 	buf, err := json.MarshalIndent(r, "", "  ")
 	if err != nil {
 		log.Fatalf("benchstudy: %v", err)
@@ -134,8 +152,9 @@ func main() {
 	if err := os.WriteFile(*out, buf, 0o644); err != nil {
 		log.Fatalf("benchstudy: %v", err)
 	}
-	fmt.Printf("sequential %.1fs, parallel %.1fs (x%.2f on GOMAXPROCS=%d); wrote %s\n",
-		r.SequentialSeconds, r.ParallelSeconds, r.Speedup, r.GOMAXPROCS, *out)
+	fmt.Printf("sequential %.1fs, parallel %.1fs (x%.2f on GOMAXPROCS=%d), hpclint %.1fs/%d pkgs; wrote %s\n",
+		r.SequentialSeconds, r.ParallelSeconds, r.Speedup, r.GOMAXPROCS,
+		r.HpclintSeconds, r.HpclintPackages, *out)
 
 	if *memprofile != "" {
 		f, err := os.Create(*memprofile)

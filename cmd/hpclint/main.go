@@ -6,15 +6,26 @@
 // concurrency rules of the parallel study harness (ctxflow, lockguard,
 // waitleak).
 //
+// Analysis is module-wide: packages are loaded in dependency order and
+// each package's propagated context facts (requires-ctx, consults-ctx,
+// spawns, unbounded) are exported for its dependents, so a
+// context.Background() sever or a dropped ctx is flagged even when the
+// requiring body lives in another package.
+//
 // Usage:
 //
-//	hpclint [-list] [-json] [packages]
+//	hpclint [-list] [-json] [-facts] [-suppressions] [packages]
 //
 // Patterns are directories, optionally ending in /... for recursion; the
 // default is ./... . With -json each diagnostic is emitted as one JSON
-// object per line ({"file","line","col","analyzer","message"}) so CI can
-// annotate pull requests; the plain-text format is unchanged by default.
-// Suppress a finding with a line or preceding-line comment:
+// object per line ({"file","line","col","analyzer","message"}, plus
+// "provenance" on cross-package findings naming the exported fact the
+// finding rests on) so CI can annotate pull requests; the plain-text
+// format is unchanged by default. -facts dumps the per-package exported
+// fact sets instead of diagnostics; -suppressions lists every
+// //hpclint:ignore directive (file, line-less, analyzer names) for
+// diffing against a committed allowlist. Suppress a finding with a line
+// or preceding-line comment:
 //
 //	//hpclint:ignore floatcmp rank ties need exact equality
 package main
@@ -24,15 +35,19 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"sort"
+	"strings"
 
 	"hpcmetrics/internal/analysis"
 	"hpcmetrics/internal/analysis/framework"
-	"hpcmetrics/internal/analysis/load"
 )
 
 func main() {
 	list := flag.Bool("list", false, "list the analyzers and exit")
 	jsonOut := flag.Bool("json", false, "emit one JSON object per diagnostic line")
+	facts := flag.Bool("facts", false, "dump the per-package exported fact sets instead of diagnostics")
+	suppressions := flag.Bool("suppressions", false, "list //hpclint:ignore directives instead of diagnostics")
 	flag.Parse()
 
 	analyzers := analysis.All()
@@ -47,23 +62,34 @@ func main() {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
-	diags, err := run(patterns, analyzers)
+	res, err := analysis.Run(patterns, analyzers)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "hpclint: %v\n", err)
 		os.Exit(2)
 	}
+	switch {
+	case *facts:
+		if err := writeFacts(os.Stdout, res.Facts); err != nil {
+			fmt.Fprintf(os.Stderr, "hpclint: %v\n", err)
+			os.Exit(2)
+		}
+		return
+	case *suppressions:
+		writeSuppressions(os.Stdout, res.Directives)
+		return
+	}
 	if *jsonOut {
-		if err := writeJSON(os.Stdout, diags); err != nil {
+		if err := writeJSON(os.Stdout, res.Diagnostics); err != nil {
 			fmt.Fprintf(os.Stderr, "hpclint: %v\n", err)
 			os.Exit(2)
 		}
 	} else {
-		for _, d := range diags {
+		for _, d := range res.Diagnostics {
 			fmt.Println(d)
 		}
 	}
-	if len(diags) > 0 {
-		fmt.Fprintf(os.Stderr, "hpclint: %d finding(s)\n", len(diags))
+	if len(res.Diagnostics) > 0 {
+		fmt.Fprintf(os.Stderr, "hpclint: %d finding(s)\n", len(res.Diagnostics))
 		os.Exit(1)
 	}
 }
@@ -75,17 +101,22 @@ type jsonDiag struct {
 	Col      int    `json:"col"`
 	Analyzer string `json:"analyzer"`
 	Message  string `json:"message"`
+	// Provenance, on cross-package findings, names the exported fact the
+	// finding rests on ("hpcmetrics/internal/study.RunContext: spawns a
+	// goroutine").
+	Provenance string `json:"provenance,omitempty"`
 }
 
 func writeJSON(w *os.File, diags []framework.Diagnostic) error {
 	enc := json.NewEncoder(w)
 	for _, d := range diags {
 		err := enc.Encode(jsonDiag{
-			File:     d.Pos.Filename,
-			Line:     d.Pos.Line,
-			Col:      d.Pos.Column,
-			Analyzer: d.Analyzer,
-			Message:  d.Message,
+			File:       d.Pos.Filename,
+			Line:       d.Pos.Line,
+			Col:        d.Pos.Column,
+			Analyzer:   d.Analyzer,
+			Message:    d.Message,
+			Provenance: d.Provenance,
 		})
 		if err != nil {
 			return err
@@ -94,23 +125,54 @@ func writeJSON(w *os.File, diags []framework.Diagnostic) error {
 	return nil
 }
 
-func run(patterns []string, analyzers []*framework.Analyzer) ([]framework.Diagnostic, error) {
-	dirs, err := load.Expand(patterns)
+// writeFacts dumps the fact store grouped by package, one function per
+// line with its facts JSON-encoded, in sorted order for diffability.
+func writeFacts(w *os.File, facts *framework.ModuleFacts) error {
+	for _, pkg := range facts.Packages() {
+		set := facts.PackageFacts(pkg)
+		objs := make([]string, 0, len(set))
+		for o := range set {
+			objs = append(objs, o)
+		}
+		sort.Strings(objs)
+		fmt.Fprintf(w, "# %s\n", pkg)
+		for _, o := range objs {
+			data, err := json.Marshal(set[o])
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "%s %s\n", o, data)
+		}
+	}
+	return nil
+}
+
+// writeSuppressions lists the module's ignore directives, one per line as
+// "<module-relative-file> <analyzers>", sorted and deduplicated — the
+// line number is deliberately omitted so the committed allowlist does not
+// churn when unrelated edits move a directive.
+func writeSuppressions(w *os.File, directives []framework.Directive) {
+	cwd, err := os.Getwd()
 	if err != nil {
-		return nil, err
+		cwd = "" // absolute paths then; the listing is still usable
 	}
-	loader := load.New()
-	var all []framework.Diagnostic
-	for _, dir := range dirs {
-		pkg, err := loader.Load(dir)
-		if err != nil {
-			return nil, err
+	seen := map[string]bool{}
+	var lines []string
+	for _, d := range directives {
+		file := d.File
+		if cwd != "" {
+			if rel, err := filepath.Rel(cwd, file); err == nil && !strings.HasPrefix(rel, "..") {
+				file = filepath.ToSlash(rel)
+			}
 		}
-		diags, err := framework.Run(pkg, analyzers)
-		if err != nil {
-			return nil, err
+		line := file + " " + strings.Join(d.Analyzers, ",")
+		if !seen[line] {
+			seen[line] = true
+			lines = append(lines, line)
 		}
-		all = append(all, diags...)
 	}
-	return all, nil
+	sort.Strings(lines)
+	for _, line := range lines {
+		fmt.Fprintln(w, line)
+	}
 }

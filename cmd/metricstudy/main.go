@@ -28,14 +28,17 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	rtrace "runtime/trace"
 	"strings"
+	"syscall"
 
 	"hpcmetrics"
 	"hpcmetrics/internal/obs"
@@ -156,7 +159,12 @@ func run() error {
 		opts.Obs = obs.New()
 	}
 
-	res, err := study.Run(opts)
+	// A signal-cancelled root: ^C or SIGTERM cancels the study's worker
+	// pool instead of killing workers mid-write, so checkpoints stay
+	// consistent and a -resume run can pick up cleanly.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	res, err := study.RunContext(ctx, opts)
 	if err != nil {
 		return err
 	}

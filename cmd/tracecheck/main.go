@@ -134,7 +134,9 @@ func readProm(path string) (map[string]int64, error) {
 	defer f.Close()
 	out := make(map[string]int64)
 	sc := bufio.NewScanner(f)
-	for sc.Scan() {
+	// Three-clause form: the scan advances in the loop header, so the
+	// loop's termination (end of file) is structural.
+	for ok := sc.Scan(); ok; ok = sc.Scan() {
 		line := strings.TrimSpace(sc.Text())
 		if line == "" || strings.HasPrefix(line, "#") || strings.Contains(line, "{") {
 			continue

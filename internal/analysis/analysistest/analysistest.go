@@ -34,6 +34,12 @@ type expectation struct {
 
 // Run loads each fixture package beneath dir/src, applies the analyzer,
 // and reports mismatches through t.
+//
+// The packages share one loader and one cross-package fact store and are
+// analyzed in the order given: list dependency packages before their
+// dependents (as a module-wide driver's topological order would), so the
+// facts a dependency exports are visible when the dependent is analyzed
+// and cross-package diagnostics can be exercised by fixtures.
 func Run(t *testing.T, dir string, a *framework.Analyzer, pkgs ...string) {
 	t.Helper()
 	srcRoot, err := filepath.Abs(filepath.Join(dir, "src"))
@@ -42,12 +48,13 @@ func Run(t *testing.T, dir string, a *framework.Analyzer, pkgs ...string) {
 	}
 	loader := load.New()
 	loader.SrcRoots = []string{srcRoot}
+	module := framework.NewModuleFacts()
 	for _, pkgPath := range pkgs {
 		pkg, err := loader.LoadAs(filepath.Join(srcRoot, filepath.FromSlash(pkgPath)), pkgPath)
 		if err != nil {
 			t.Fatalf("loading fixture %s: %v", pkgPath, err)
 		}
-		diags, err := framework.Run(pkg, []*framework.Analyzer{a})
+		diags, err := framework.RunWithModule(pkg, []*framework.Analyzer{a}, module)
 		if err != nil {
 			t.Fatalf("running %s on %s: %v", a.Name, pkgPath, err)
 		}
@@ -111,11 +118,9 @@ func collectExpectations(t *testing.T, pkg *load.Package) []*expectation {
 func parsePatterns(t *testing.T, s, pos string) []string {
 	t.Helper()
 	var pats []string
-	for {
-		s = strings.TrimSpace(s)
-		if s == "" {
-			return pats
-		}
+	// Each iteration consumes one quoted pattern, so the trimmed input
+	// shrinks to "" and the loop's own condition terminates it.
+	for s = strings.TrimSpace(s); s != ""; s = strings.TrimSpace(s) {
 		q, err := strconv.QuotedPrefix(s)
 		if err != nil {
 			t.Fatalf("%s: malformed want expectation %q", pos, s)
@@ -127,4 +132,5 @@ func parsePatterns(t *testing.T, s, pos string) []string {
 		pats = append(pats, unq)
 		s = s[len(q):]
 	}
+	return pats
 }

@@ -1,16 +1,31 @@
 // Call-graph construction and context-fact propagation for the
 // interprocedural half of the concurrency analyzers.
 //
-// The graph is deliberately package-local: every *ast.CallExpr whose
-// callee resolves (through go/types) to a FuncDecl of the same package —
-// plain functions, methods on named receivers, and method expressions —
-// becomes an edge. Calls into other packages, calls through function
-// values, and calls of parameters stay outside the graph and are treated
-// conservatively by the fact propagation below.
+// The graph covers one package's syntax but is no longer blind past its
+// edges. Three kinds of call resolve:
+//
+//   - Same-package calls whose callee is a FuncDecl (plain functions,
+//     methods on named receivers, method expressions) become edges, as
+//     before.
+//   - Calls through function-typed variables, struct fields, and
+//     parameters resolve when the bound value is package-visible and
+//     unique — a single static assignment of a FuncDecl reference or a
+//     FuncLit (see funcval.go). Unique FuncLit bindings get synthetic
+//     nodes of their own, so a package-level `var run = func() {...}`
+//     is a first-class graph citizen.
+//   - Cross-package calls resolve against the facts the callee's package
+//     exported when it was analyzed earlier in the same driver run
+//     (dependency order): the callee becomes a leaf node pre-seeded with
+//     its propagated requires/consults facts (see fact.go).
+//
+// Everything else — interface methods, ambiguous function values, calls
+// into packages with no exported facts — stays outside the graph and is
+// treated conservatively by the fact propagation below.
 package cflite
 
 import (
 	"go/ast"
+	"go/token"
 	"go/types"
 	"strings"
 )
@@ -30,30 +45,48 @@ const (
 	CtxArgLive
 )
 
-// CallSite is one resolved same-package call.
+// CallSite is one resolved call.
 type CallSite struct {
 	// Call is the syntax of the call.
 	Call *ast.CallExpr
-	// Callee is the called function's node.
+	// Callee is the called function's node (possibly external or a bound
+	// function literal).
 	Callee *FuncNode
 	// CtxArg classifies the context argument the call passes, if any.
 	CtxArg CtxArgKind
 }
 
-// FuncNode is one declared function of the package with its direct
-// (intra-procedural) observations and, after Propagate, its
-// interprocedural facts.
+// FuncNode is one function known to the graph: a declaration of the
+// package, a function literal uniquely bound to a variable or field, or
+// an external function represented by its imported facts.
 type FuncNode struct {
 	// Decl is the function's declaration (Body may be nil for
 	// assembly-backed declarations; such nodes carry no direct facts).
+	// Nil for bound-literal and external nodes.
 	Decl *ast.FuncDecl
-	// Obj is the *types.Func object from the type-checker's Defs map.
+	// Lit is the function literal for a bound-literal node.
+	Lit *ast.FuncLit
+	// BindName is the variable or field name a bound literal was
+	// assigned to, used where a declared name would be.
+	BindName string
+	// Enclosed marks a bound literal that appears inside some declared
+	// function's body: its syntax is already covered by the enclosing
+	// node's body walks, so analyzers skip it to avoid double reporting
+	// (the node still exists to give calls through the binding an edge).
+	Enclosed bool
+	// External marks a node standing for another package's function,
+	// reconstructed from that package's exported facts. It has no body;
+	// its propagated facts below are fixed.
+	External bool
+	// Obj is the *types.Func object: from the type-checker's Defs map
+	// for declarations, from the import for external nodes, nil for
+	// bound literals.
 	Obj types.Object
-	// Calls lists the same-package calls made anywhere in the body,
+	// Calls lists the resolved calls made anywhere in the body,
 	// including inside function literals and go/defer statements.
 	Calls []CallSite
 
-	// CtxParams names the declaration's context.Context parameters.
+	// CtxParams names the function's context.Context parameters.
 	CtxParams []string
 	// Spawns: the body contains a go statement.
 	Spawns bool
@@ -68,7 +101,9 @@ type FuncNode struct {
 	// shape of internal/obs).
 	ForwardsLive bool
 	// forwardsOutside: a live context leaves the graph (unknown callee);
-	// the propagation assumes the recipient consults it.
+	// the propagation assumes the recipient consults it. A live ctx
+	// passed to a callee with known facts does NOT set this — the
+	// callee's own Consults fact decides.
 	forwardsOutside bool
 
 	// Requires is set by Propagate: executing this function may spawn a
@@ -78,35 +113,105 @@ type FuncNode struct {
 	// RequiresVia is the callee through which a purely transitive
 	// requirement first arrived (nil when the requirement is direct).
 	RequiresVia *FuncNode
+	// FactVia, on an external node, is the first hop recorded in the
+	// exporting package when its requirement was transitive ("via
+	// forEachIndexed"), for diagnostics and provenance.
+	FactVia string
 	// Consults is set by Propagate: the function consults a context
-	// directly, or passes one to a callee that (transitively) does, or
-	// passes one outside the graph (assumed consulted).
+	// directly, or passes a live context to a callee that (transitively)
+	// does, or passes a live context outside the graph (assumed
+	// consulted).
 	Consults bool
 }
 
-// Name returns the declared function name.
-func (n *FuncNode) Name() string { return n.Decl.Name.Name }
+// Name returns the function's name: the declared name, the bound
+// variable/field name for literals, or "pkg.Name" for external nodes.
+func (n *FuncNode) Name() string {
+	switch {
+	case n.Decl != nil:
+		return n.Decl.Name.Name
+	case n.External:
+		if pkg := n.Obj.Pkg(); pkg != nil {
+			return pkg.Name() + "." + n.Obj.Name()
+		}
+		return n.Obj.Name()
+	default:
+		return n.BindName
+	}
+}
+
+// FullName returns the fully qualified object path for declared and
+// external nodes (types.Func.FullName), or Name() for bound literals.
+func (n *FuncNode) FullName() string {
+	if fn, ok := n.Obj.(*types.Func); ok {
+		return fn.FullName()
+	}
+	return n.Name()
+}
+
+// Body returns the function's body syntax: the declaration's or the
+// bound literal's. Nil for external and body-less nodes.
+func (n *FuncNode) Body() *ast.BlockStmt {
+	switch {
+	case n.Decl != nil:
+		return n.Decl.Body
+	case n.Lit != nil:
+		return n.Lit.Body
+	}
+	return nil
+}
+
+// Pos returns the position of the node's declaration or bound literal
+// (token.NoPos for external nodes, which have no syntax).
+func (n *FuncNode) Pos() token.Pos {
+	switch {
+	case n.Decl != nil:
+		return n.Decl.Pos()
+	case n.Lit != nil:
+		return n.Lit.Pos()
+	}
+	return token.NoPos
+}
 
 // Direct reports whether the node's cancellation requirement is its own
 // (a spawn or unbounded loop in its body) rather than inherited.
 func (n *FuncNode) Direct() bool { return n.Spawns || n.Unbounded }
 
-// CallGraph is the package-local call graph.
+// ExternalFacts resolves a cross-package function object to the facts
+// its package exported, if that package was analyzed earlier in the
+// driver run. Nil disables cross-package resolution.
+type ExternalFacts func(obj types.Object) (FuncFacts, bool)
+
+// CallGraph is the per-package call graph with cross-package leaves.
 type CallGraph struct {
-	// Nodes holds every declared function in file/declaration order.
+	// Nodes holds every declared function in file/declaration order,
+	// followed by the synthetic nodes of uniquely bound function
+	// literals in binding-discovery order. External nodes are not
+	// listed; they only appear as CallSite callees.
 	Nodes []*FuncNode
 
 	byObj map[types.Object]*FuncNode
+	ext   map[types.Object]*FuncNode
+	facts ExternalFacts
 }
 
-// NodeFor returns the node declaring obj, or nil.
+// NodeFor returns the node calls through obj resolve to: the declaring
+// node for a package function, or the bound target for a function-typed
+// variable, field, or parameter with a unique static binding. Nil if
+// unresolved.
 func (g *CallGraph) NodeFor(obj types.Object) *FuncNode { return g.byObj[obj] }
 
-// BuildCallGraph constructs the package-local call graph over files and
-// records each function's direct observations. Call Propagate afterwards
-// to compute the interprocedural Requires/Consults facts.
-func BuildCallGraph(info *types.Info, files []*ast.File) *CallGraph {
-	g := &CallGraph{byObj: map[types.Object]*FuncNode{}}
+// BuildCallGraph constructs the package call graph over files and
+// records each function's direct observations. ext, when non-nil,
+// resolves cross-package callees to their exported facts. Call
+// Propagate afterwards to compute the interprocedural Requires/Consults
+// facts.
+func BuildCallGraph(info *types.Info, files []*ast.File, ext ExternalFacts) *CallGraph {
+	g := &CallGraph{
+		byObj: map[types.Object]*FuncNode{},
+		ext:   map[types.Object]*FuncNode{},
+		facts: ext,
+	}
 	for _, f := range files {
 		for _, decl := range f.Decls {
 			fd, ok := decl.(*ast.FuncDecl)
@@ -120,19 +225,67 @@ func BuildCallGraph(info *types.Info, files []*ast.File) *CallGraph {
 			}
 		}
 	}
+	g.resolveBindings(info, files)
 	for _, n := range g.Nodes {
 		g.observe(info, n)
 	}
 	return g
 }
 
+// externalNode returns (creating on first use) the leaf node standing
+// for another package's function, or nil when no facts were exported
+// for it.
+func (g *CallGraph) externalNode(obj types.Object) *FuncNode {
+	if n, ok := g.ext[obj]; ok {
+		return n
+	}
+	var node *FuncNode
+	if g.facts != nil {
+		if f, ok := g.facts(obj); ok {
+			node = &FuncNode{
+				External:  true,
+				Obj:       obj,
+				CtxParams: sigCtxParams(obj),
+				Spawns:    f.Spawns,
+				Unbounded: f.Unbounded,
+				Requires:  f.Requires,
+				Consults:  f.Consults,
+				FactVia:   f.Via,
+			}
+		}
+	}
+	g.ext[obj] = node // negative results cached too
+	return node
+}
+
+// sigCtxParams lists the context.Context parameter names of obj's
+// signature (the external-node analog of CtxParams, which needs syntax).
+func sigCtxParams(obj types.Object) []string {
+	sig, ok := obj.Type().(*types.Signature)
+	if !ok {
+		return nil
+	}
+	var names []string
+	for i := 0; i < sig.Params().Len(); i++ {
+		if p := sig.Params().At(i); IsContext(p.Type()) {
+			names = append(names, p.Name())
+		}
+	}
+	return names
+}
+
 // observe records one function's direct facts and resolved call sites.
 func (g *CallGraph) observe(info *types.Info, n *FuncNode) {
-	n.CtxParams = CtxParams(info, n.Decl.Type)
-	if n.Decl.Body == nil {
+	if n.Decl != nil {
+		n.CtxParams = CtxParams(info, n.Decl.Type)
+	} else if n.Lit != nil {
+		n.CtxParams = CtxParams(info, n.Lit.Type)
+	}
+	body := n.Body()
+	if body == nil {
 		return
 	}
-	ast.Inspect(n.Decl.Body, func(node ast.Node) bool {
+	ast.Inspect(body, func(node ast.Node) bool {
 		switch node := node.(type) {
 		case *ast.GoStmt:
 			n.Spawns = true
@@ -178,7 +331,15 @@ func (g *CallGraph) observeCall(info *types.Info, n *FuncNode, call *ast.CallExp
 	}
 	arg := ctxArgKind(info, call)
 	obj := calleeObject(info, call)
+	// byObj resolves same-package declarations and — through the binding
+	// pass — function-typed variables, fields, and parameters with a
+	// unique static target.
 	callee := g.byObj[obj]
+	if callee == nil && obj != nil && !isObsCallee(obj) {
+		if _, isFunc := obj.(*types.Func); isFunc {
+			callee = g.externalNode(obj)
+		}
+	}
 	if arg == CtxArgLive {
 		n.ForwardsLive = true
 		if callee == nil && !isObsCallee(obj) {
@@ -195,23 +356,26 @@ func (g *CallGraph) observeCall(info *types.Info, n *FuncNode, call *ast.CallExp
 // record the ctx's trace lineage but never wire cancellation through it,
 // so a live ctx handed to them clears the dead-parameter rule without
 // counting as consulted: a spawner whose only ctx use is starting a span
-// still needs a real cancellation point.
+// still needs a real cancellation point. The carve-out also wins over
+// exported facts — obs functions consult ctx values internally, but that
+// must not launder a missing cancellation point.
 func isObsCallee(obj types.Object) bool {
 	return obj != nil && obj.Pkg() != nil &&
 		strings.HasSuffix(obj.Pkg().Path(), "internal/obs")
 }
 
-// calleeObject resolves a call's target to the function object it names,
-// or nil for calls through values the type-checker cannot pin to one
-// declaration (function-typed variables, parameters, interface methods
-// from other packages).
+// calleeObject resolves a call's target to the object it names: a
+// *types.Func for direct calls and method calls, a *types.Var for calls
+// through function-typed variables or fields, or nil for anything the
+// type-checker cannot pin down.
 func calleeObject(info *types.Info, call *ast.CallExpr) types.Object {
 	switch fun := ast.Unparen(call.Fun).(type) {
 	case *ast.Ident:
 		return info.Uses[fun]
 	case *ast.SelectorExpr:
-		// Covers x.m() on named receivers and T.m method expressions:
-		// Uses maps the selected identifier to the *types.Func.
+		// Covers x.m() on named receivers, T.m method expressions, and
+		// x.field() function-field calls: Uses maps the selected
+		// identifier to the *types.Func or field *types.Var.
 		return info.Uses[fun.Sel]
 	}
 	return nil
@@ -252,13 +416,17 @@ func mintsContext(info *types.Info, e ast.Expr) bool {
 // Propagate iterates the per-function facts to a fixed point:
 //
 //   - Requires(f) = f spawns or loops unboundedly, or any callee of f
-//     requires a context (the transitive closure over all same-package
-//     call edges, whatever arguments the calls pass).
+//     requires a context (the transitive closure over all resolved call
+//     edges — same-package, bound-value, and cross-package — whatever
+//     arguments the calls pass).
 //   - Consults(f) = f consults a context directly, or passes a live
 //     context to a callee that consults, or passes a live context
-//     outside the graph (assumed consulted).
+//     outside the graph (assumed consulted). A live context passed to a
+//     callee with known facts is consulted only if those facts say so.
 //
-// Both facts are monotone over a finite domain, so iteration terminates.
+// External nodes enter with their exported facts fixed and have no call
+// sites, so they act as constant boundary conditions. Both facts are
+// monotone over a finite domain, so iteration terminates.
 func (g *CallGraph) Propagate() {
 	for changed := true; changed; {
 		changed = false

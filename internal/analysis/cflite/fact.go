@@ -1,0 +1,84 @@
+// Cross-package fact export/import. After a package's graph is built and
+// propagated, the fixed-point facts of every declared function are
+// exported into the driver's ModuleFacts store keyed by object path;
+// when a dependent package is analyzed later in the same run, its graph
+// resolves cross-package callees against those facts (see externalNode
+// in callgraph.go).
+package cflite
+
+import (
+	"go/types"
+
+	"hpcmetrics/internal/analysis/framework"
+)
+
+// FuncFacts is the exported fact set of one function: the propagated
+// (transitive) requires/consults verdicts plus the direct observations
+// that produced them. JSON-marshalable for cmd/hpclint -facts.
+type FuncFacts struct {
+	// Requires: executing the function may spawn a goroutine or loop
+	// unboundedly, directly or via any callee, so cancellation must be
+	// wired through it.
+	Requires bool `json:"requires,omitempty"`
+	// Consults: the function (transitively) consults a context it is
+	// passed — Done/Err/Deadline/Value — or hands it to unknown code
+	// assumed to.
+	Consults bool `json:"consults,omitempty"`
+	// Spawns: the body itself contains a go statement.
+	Spawns bool `json:"spawns,omitempty"`
+	// Unbounded: the body itself contains a structurally unbounded loop.
+	Unbounded bool `json:"unbounded,omitempty"`
+	// Via names the callee a purely transitive requirement arrived
+	// through, for diagnostics ("requires ctx via retry.Do").
+	Via string `json:"via,omitempty"`
+}
+
+// graphKey is the FactStore key under which the package's propagated
+// call graph is shared by ctxflow, lockguard, and waitleak.
+type graphKey struct{}
+
+// Graph returns the pass's package call graph, building, propagating,
+// and exporting its facts on first use (the result is cached in the
+// pass's per-package fact store, so the three concurrency analyzers
+// share one graph).
+func Graph(pass *framework.Pass) *CallGraph {
+	return pass.Fact(graphKey{}, func() any {
+		own := ""
+		if pass.Pkg != nil {
+			own = pass.Pkg.Path()
+		}
+		ext := func(obj types.Object) (FuncFacts, bool) {
+			// Same-package objects are the graph's own nodes; never model
+			// them as external leaves (their facts are not exported until
+			// this build finishes anyway).
+			if obj.Pkg() != nil && obj.Pkg().Path() == own {
+				return FuncFacts{}, false
+			}
+			v, ok := pass.ImportedFact(obj)
+			if !ok {
+				return FuncFacts{}, false
+			}
+			f, ok := v.(FuncFacts)
+			return f, ok
+		}
+		g := BuildCallGraph(pass.Info, pass.Syntax, ext)
+		g.Propagate()
+		for _, n := range g.Nodes {
+			if n.Decl == nil || n.Obj == nil {
+				continue
+			}
+			via := ""
+			if n.RequiresVia != nil {
+				via = n.RequiresVia.FullName()
+			}
+			pass.ExportFact(n.Obj, FuncFacts{
+				Requires:  n.Requires,
+				Consults:  n.Consults,
+				Spawns:    n.Spawns,
+				Unbounded: n.Unbounded,
+				Via:       via,
+			})
+		}
+		return g
+	}).(*CallGraph)
+}

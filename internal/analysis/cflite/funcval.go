@@ -1,0 +1,341 @@
+// Function-value resolution: calls through function-typed variables,
+// struct fields, and parameters resolve to a real graph edge when the
+// bound value is package-visible and unique — a single static assignment
+// of a same-package FuncDecl reference, a FuncLit, or a cross-package
+// function with exported facts. Anything else (multiple candidates, a
+// reassignment through a pointer, an exported binding another package
+// could overwrite, a function whose value escapes) falls back to the
+// conservative "outside call" treatment.
+package cflite
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// bindTarget is one candidate value bound to a function-typed object.
+type bindTarget struct {
+	fn  types.Object // a *types.Func (same-package or imported); nil for literals
+	lit *ast.FuncLit
+}
+
+// candSet accumulates the values assigned to one object.
+type candSet struct {
+	targets []bindTarget
+	taint   bool // a non-resolvable value, tuple assignment, &obj, or visibility leak
+}
+
+func (c *candSet) add(t bindTarget) {
+	if t.fn == nil && t.lit == nil {
+		c.taint = true
+		return
+	}
+	for _, have := range c.targets {
+		if t.fn != nil && have.fn == t.fn {
+			return // the same function assigned twice is still unique
+		}
+	}
+	c.targets = append(c.targets, t)
+}
+
+// resolveBindings finds unique static bindings and installs them in
+// g.byObj, creating synthetic nodes for bound function literals, so
+// observeCall resolves calls through the bound objects.
+func (g *CallGraph) resolveBindings(info *types.Info, files []*ast.File) {
+	// The analyzed package, read off any defined object: fields of
+	// foreign structs are compared against it (assigning to them is a
+	// visibility leak — code this package never sees can rebind them).
+	var pkg *types.Package
+	for _, obj := range info.Defs {
+		if obj != nil && obj.Pkg() != nil {
+			pkg = obj.Pkg()
+			break
+		}
+	}
+	c := &bindingCollector{
+		info:    info,
+		pkg:     pkg,
+		cands:   map[types.Object]*candSet{},
+		escaped: map[types.Object]bool{},
+	}
+	for _, f := range files {
+		c.file(f)
+	}
+	// A function whose value escapes (referenced outside call position)
+	// can be invoked from anywhere with any arguments: its parameters
+	// have no unique binding.
+	for fn := range c.escaped {
+		sig, ok := fn.Type().(*types.Signature)
+		if !ok {
+			continue
+		}
+		for i := 0; i < sig.Params().Len(); i++ {
+			if set := c.cands[sig.Params().At(i)]; set != nil {
+				set.taint = true
+			}
+		}
+	}
+	for _, obj := range c.order {
+		set := c.cands[obj]
+		if set.taint || len(set.targets) != 1 {
+			continue // ambiguous or invisible: conservative fallback
+		}
+		t := set.targets[0]
+		var target *FuncNode
+		switch {
+		case t.lit != nil:
+			target = g.litNode(t.lit)
+			if target.BindName == "" {
+				target.BindName = obj.Name()
+			}
+		default:
+			if target = g.byObj[t.fn]; target == nil && !isObsCallee(t.fn) {
+				target = g.externalNode(t.fn)
+			}
+		}
+		if target != nil {
+			g.byObj[obj] = target
+		}
+	}
+}
+
+// litNode returns (creating on first use) the synthetic node for a bound
+// function literal, marking whether some declared function's body
+// already encloses its syntax.
+func (g *CallGraph) litNode(lit *ast.FuncLit) *FuncNode {
+	for _, n := range g.Nodes {
+		if n.Lit == lit {
+			return n
+		}
+	}
+	node := &FuncNode{Lit: lit, Enclosed: g.encloses(lit.Pos())}
+	g.Nodes = append(g.Nodes, node)
+	return node
+}
+
+// encloses reports whether pos falls inside any declared function body.
+func (g *CallGraph) encloses(pos token.Pos) bool {
+	for _, n := range g.Nodes {
+		if n.Decl != nil && n.Decl.Body != nil &&
+			n.Decl.Body.Pos() <= pos && pos < n.Decl.Body.End() {
+			return true
+		}
+	}
+	return false
+}
+
+// bindingCollector walks a package's syntax recording every assignment
+// of a value to a function-typed variable, field, or parameter.
+type bindingCollector struct {
+	info    *types.Info
+	pkg     *types.Package // the package under analysis
+	cands   map[types.Object]*candSet
+	order   []types.Object // deterministic iteration for node creation
+	escaped map[types.Object]bool
+	// callFun marks identifiers appearing as a call's function (directly
+	// or as the Sel of a selector), so other *types.Func uses count as
+	// value escapes.
+	callFun map[*ast.Ident]bool
+}
+
+func (c *bindingCollector) file(f *ast.File) {
+	c.callFun = map[*ast.Ident]bool{}
+	ast.Inspect(f, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			switch fun := ast.Unparen(call.Fun).(type) {
+			case *ast.Ident:
+				c.callFun[fun] = true
+			case *ast.SelectorExpr:
+				c.callFun[fun.Sel] = true
+			}
+		}
+		return true
+	})
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ValueSpec:
+			c.valueSpec(n)
+		case *ast.AssignStmt:
+			c.assign(n)
+		case *ast.CompositeLit:
+			c.composite(n)
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				c.taintObj(c.lhsObject(n.X))
+			}
+		case *ast.CallExpr:
+			c.callArgs(n)
+		case *ast.Ident:
+			if fn, ok := c.info.Uses[n].(*types.Func); ok && !c.callFun[n] {
+				c.escaped[fn] = true
+			}
+		}
+		return true
+	})
+}
+
+func (c *bindingCollector) valueSpec(spec *ast.ValueSpec) {
+	if len(spec.Values) == 0 {
+		return // zero value: no candidate (a later single assignment still resolves)
+	}
+	if len(spec.Values) != len(spec.Names) {
+		for _, name := range spec.Names {
+			c.taintObj(c.info.Defs[name])
+		}
+		return
+	}
+	for i, name := range spec.Names {
+		c.record(c.info.Defs[name], spec.Values[i])
+	}
+}
+
+func (c *bindingCollector) assign(as *ast.AssignStmt) {
+	if len(as.Rhs) != len(as.Lhs) {
+		for _, lhs := range as.Lhs {
+			c.taintObj(c.lhsObject(lhs))
+		}
+		return
+	}
+	for i, lhs := range as.Lhs {
+		c.record(c.lhsObject(lhs), as.Rhs[i])
+	}
+}
+
+// lhsObject resolves an assignment target to the variable or field
+// object it stores into, or nil for targets without one (indexing,
+// pointer dereference).
+func (c *bindingCollector) lhsObject(lhs ast.Expr) types.Object {
+	switch lhs := ast.Unparen(lhs).(type) {
+	case *ast.Ident:
+		if obj := c.info.Defs[lhs]; obj != nil {
+			return obj
+		}
+		return c.info.Uses[lhs]
+	case *ast.SelectorExpr:
+		if sel, ok := c.info.Selections[lhs]; ok && sel.Kind() == types.FieldVal {
+			return sel.Obj()
+		}
+		return c.info.Uses[lhs.Sel]
+	}
+	return nil
+}
+
+func (c *bindingCollector) composite(lit *ast.CompositeLit) {
+	t := c.info.TypeOf(lit)
+	if t == nil {
+		return
+	}
+	st, ok := t.Underlying().(*types.Struct)
+	if !ok {
+		return
+	}
+	for i, elt := range lit.Elts {
+		if kv, ok := elt.(*ast.KeyValueExpr); ok {
+			if key, ok := kv.Key.(*ast.Ident); ok {
+				c.record(c.info.Uses[key], kv.Value)
+			}
+			continue
+		}
+		if i < st.NumFields() {
+			c.record(st.Field(i), elt)
+		}
+	}
+}
+
+// callArgs binds a call's arguments to the callee's parameters when the
+// callee is a same-package unexported plain function (anything callable
+// from outside the package, through a method set, or variadically has no
+// package-visible binding).
+func (c *bindingCollector) callArgs(call *ast.CallExpr) {
+	fn, ok := calleeObject(c.info, call).(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Exported() {
+		return
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() != nil || sig.Variadic() {
+		return
+	}
+	if len(call.Args) != sig.Params().Len() {
+		// Tuple expansion f(g()): the values are invisible here.
+		for i := 0; i < sig.Params().Len(); i++ {
+			c.taintObj(sig.Params().At(i))
+		}
+		return
+	}
+	for i, arg := range call.Args {
+		c.record(sig.Params().At(i), arg)
+	}
+}
+
+// record adds value as a binding candidate for obj, if obj is a
+// function-typed variable, field, or parameter eligible for resolution.
+func (c *bindingCollector) record(obj types.Object, value ast.Expr) {
+	set := c.set(obj)
+	if set == nil {
+		return
+	}
+	set.add(c.bindValue(value))
+}
+
+func (c *bindingCollector) taintObj(obj types.Object) {
+	if set := c.set(obj); set != nil {
+		set.taint = true
+	}
+}
+
+// set returns obj's candidate set, creating it on first use with the
+// visibility pre-taints: exported package-level variables and exported
+// or foreign struct fields can be rebound by code this package never
+// sees.
+func (c *bindingCollector) set(obj types.Object) *candSet {
+	v, ok := obj.(*types.Var)
+	if !ok {
+		return nil
+	}
+	if _, ok := v.Type().Underlying().(*types.Signature); !ok {
+		return nil
+	}
+	if set, ok := c.cands[obj]; ok {
+		return set
+	}
+	set := &candSet{}
+	switch {
+	case v.Pkg() == nil:
+		set.taint = true
+	case v.IsField():
+		if v.Exported() || v.Pkg() != c.pkg {
+			set.taint = true
+		}
+	case v.Parent() != nil && v.Pkg().Scope() == v.Parent():
+		if v.Exported() {
+			set.taint = true // exported package var: rebindable elsewhere
+		}
+	}
+	c.cands[obj] = set
+	c.order = append(c.order, obj)
+	return set
+}
+
+// bindValue classifies a bound value: a function literal, a direct
+// reference to a function (same-package or qualified import), or — for
+// anything else — a taint marker. Method values (x.m) are not static
+// targets: the receiver varies.
+func (c *bindingCollector) bindValue(value ast.Expr) bindTarget {
+	switch value := ast.Unparen(value).(type) {
+	case *ast.FuncLit:
+		return bindTarget{lit: value}
+	case *ast.Ident:
+		if fn, ok := c.info.Uses[value].(*types.Func); ok {
+			return bindTarget{fn: fn}
+		}
+	case *ast.SelectorExpr:
+		if _, isMethodVal := c.info.Selections[value]; isMethodVal {
+			break
+		}
+		if fn, ok := c.info.Uses[value.Sel].(*types.Func); ok {
+			return bindTarget{fn: fn}
+		}
+	}
+	return bindTarget{}
+}

@@ -1,0 +1,147 @@
+package cflite
+
+import "testing"
+
+const funcvalSrc = `package p
+
+import "context"
+
+func target(ctx context.Context) {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		<-ctx.Done()
+	}()
+	<-done
+}
+
+func other(ctx context.Context) { _ = ctx.Err() }
+
+var bound = target
+
+var Exported = target
+
+var flips = target
+
+func reassign() { flips = other }
+
+type h struct {
+	f func(context.Context)
+	G func(context.Context)
+}
+
+func mk() *h { return &h{f: target, G: target} }
+
+func callsBound(ctx context.Context)           { bound(ctx) }
+func callsFlips(ctx context.Context)           { flips(ctx) }
+func callsExported(ctx context.Context)        { Exported(ctx) }
+func callsField(ctx context.Context, x *h)     { x.f(ctx) }
+func callsExpField(ctx context.Context, x *h)  { x.G(ctx) }
+
+func invoke(fn func(context.Context), ctx context.Context) { fn(ctx) }
+
+func useInvoke(ctx context.Context) { invoke(target, ctx) }
+
+var looper = func() {
+	for {
+	}
+}
+
+func callsLooper() { looper() }
+
+func local(ctx context.Context) {
+	f := func(ctx context.Context) { _ = ctx.Err() }
+	f(ctx)
+}
+`
+
+// edgeTo reports whether caller has a resolved call edge to a callee
+// with the given display name.
+func edgeTo(t *testing.T, g *CallGraph, caller, callee string) bool {
+	t.Helper()
+	for _, cs := range node(t, g, caller).Calls {
+		if cs.Callee.Name() == callee {
+			return true
+		}
+	}
+	return false
+}
+
+func TestFuncValueBindings(t *testing.T) {
+	g := buildGraph(t, funcvalSrc)
+
+	// Unique bindings resolve: unexported package var, unexported field,
+	// parameter of an unexported function with consistent call sites.
+	for _, c := range []struct{ caller, callee string }{
+		{"callsBound", "target"},
+		{"callsField", "target"},
+		{"invoke", "target"},
+		{"callsLooper", "looper"},
+	} {
+		if !edgeTo(t, g, c.caller, c.callee) {
+			t.Errorf("%s -> %s: binding did not resolve to an edge", c.caller, c.callee)
+		}
+	}
+
+	// Tainted or ambiguous bindings stay conservative: an exported var or
+	// field is rebindable by unseen code, and flips has two candidates.
+	for _, c := range []struct{ caller, callee string }{
+		{"callsExported", "target"},
+		{"callsExpField", "target"},
+		{"callsFlips", "target"},
+		{"callsFlips", "other"},
+	} {
+		if edgeTo(t, g, c.caller, c.callee) {
+			t.Errorf("%s -> %s: ambiguous/exported binding must not resolve", c.caller, c.callee)
+		}
+	}
+}
+
+func TestFuncValuePropagation(t *testing.T) {
+	g := buildGraph(t, funcvalSrc)
+
+	requires := map[string]bool{
+		"callsBound":  true,  // via the bound target
+		"invoke":      true,  // via its resolved fn parameter
+		"useInvoke":   true,  // via invoke
+		"callsLooper": true,  // the bound literal loops unboundedly
+		"callsFlips":  false, // unresolved: conservative, no requirement
+	}
+	for name, want := range requires {
+		if got := node(t, g, name).Requires; got != want {
+			t.Errorf("Requires(%s) = %v, want %v", name, got, want)
+		}
+	}
+
+	// A live ctx through an unresolved value is assumed consulted; through
+	// a resolved edge the callee's fact decides.
+	for name, want := range map[string]bool{
+		"callsFlips": true, // unknown callee: assumed consulted
+		"callsBound": true, // target consults
+	} {
+		if got := node(t, g, name).Consults; got != want {
+			t.Errorf("Consults(%s) = %v, want %v", name, got, want)
+		}
+	}
+}
+
+func TestBoundLiteralNodes(t *testing.T) {
+	g := buildGraph(t, funcvalSrc)
+
+	looper := node(t, g, "looper")
+	if looper.Lit == nil || looper.Enclosed || !looper.Unbounded {
+		t.Errorf("looper: Lit=%v Enclosed=%v Unbounded=%v, want package-level bound literal with unbounded loop",
+			looper.Lit != nil, looper.Enclosed, looper.Unbounded)
+	}
+	if looper.BindName != "looper" {
+		t.Errorf("looper.BindName = %q", looper.BindName)
+	}
+
+	f := node(t, g, "f")
+	if !f.Enclosed {
+		t.Error("f: a literal bound inside a function body must be marked Enclosed")
+	}
+	if !edgeTo(t, g, "local", "f") {
+		t.Error("local -> f: call through the locally bound literal did not resolve")
+	}
+}

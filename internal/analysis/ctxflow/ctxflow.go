@@ -1,23 +1,26 @@
-// Package ctxflow enforces context-cancellation discipline in the
-// parallel study harness (internal/study and internal/simexec), its
-// observability layer (internal/obs), and its robustness layer
-// (internal/retry and internal/faults) — retry loops and injected
-// stalls are exactly the shapes that turn a missed ctx.Done into a
-// hang.
+// Package ctxflow enforces context-cancellation discipline across the
+// whole module. The harness fans the 1,350-prediction grid out over a
+// worker pool; a goroutine or unbounded loop that cannot be cancelled
+// turns every caller timeout into a leak and every test failure into a
+// hang — and the call chains that matter cross package lines
+// (cmd/metricstudy → study → retry/faults/persist).
 //
-// The harness fans the 1,350-prediction grid out over a worker pool; a
-// goroutine or unbounded loop there that cannot be cancelled turns every
-// caller timeout into a leak and every test failure into a hang. The
-// analysis is interprocedural within a package: a call graph (built by
-// internal/analysis/cflite) propagates two facts to a fixed point —
+// The analysis is interprocedural and module-wide: a call graph (built
+// by internal/analysis/cflite) propagates two facts to a fixed point —
 // "requires ctx" (spawns a goroutine or loops unboundedly, directly or
 // via any callee) and "consults ctx" (calls Done/Err/Deadline/Value, or
-// passes a live ctx to a callee that does). Five rules:
+// passes a live ctx to a callee that does). Each analyzed package
+// exports those facts per function; dependents resolve cross-package
+// calls against them, so a Background sever or a dropped ctx is flagged
+// even when the requiring body lives two packages away. Calls through
+// function-typed variables, fields, and parameters resolve when the
+// bound value is a unique static assignment; ambiguous bindings stay
+// conservative. Five rules:
 //
 //  1. A function that directly spawns a goroutine or contains an
 //     unbounded loop (`for {}` / `for cond {}`) must accept a
-//     context.Context and consult it — where passing ctx to a
-//     same-package helper only counts if that helper (transitively)
+//     context.Context and consult it — where passing ctx to a callee
+//     (same package or not) only counts if that callee (transitively)
 //     consults it.
 //  2. A goroutine whose function literal captures a context.Context but
 //     never consults it is flagged: the capture suggests cancellation
@@ -33,7 +36,7 @@
 //     nowhere is flagged at its declaration: the parameter is dead.
 //
 // Functions without a ctx parameter may mint context.Background() —
-// that is the blessed entry-point shape (study.Run, simexec.Execute):
+// that is the blessed entry-point shape (main, TestXxx, study.Run):
 // every cancellation chain has to be rooted somewhere.
 //
 // Observability calls get special treatment on both sides. A live ctx
@@ -48,7 +51,6 @@ package ctxflow
 
 import (
 	"go/ast"
-	"strings"
 
 	"hpcmetrics/internal/analysis/cflite"
 	"hpcmetrics/internal/analysis/framework"
@@ -57,44 +59,25 @@ import (
 // Analyzer is the ctxflow check.
 var Analyzer = &framework.Analyzer{
 	Name: "ctxflow",
-	Doc: "requires functions in internal/study, internal/simexec, internal/obs, internal/retry, and internal/faults that spawn goroutines " +
-		"or loop unboundedly (directly or via same-package callees) to accept a context.Context " +
-		"and consult it; flags call sites that sever cancellation with context.Background()/TODO() " +
-		"or drop it into ctx-less callees, goroutines that capture a ctx without consulting it, " +
-		"and dead ctx parameters",
+	Doc: "requires functions that spawn goroutines or loop unboundedly (directly or via any callee, " +
+		"across package boundaries) to accept a context.Context and consult it; flags call sites that " +
+		"sever cancellation with context.Background()/TODO() or drop it into ctx-less callees, " +
+		"goroutines that capture a ctx without consulting it, and dead ctx parameters",
 	Run: run,
 }
 
-// scoped reports whether the package is one the harness rules apply to.
-func scoped(pkgPath string) bool {
-	return strings.Contains(pkgPath, "internal/study") ||
-		strings.Contains(pkgPath, "internal/simexec") ||
-		strings.Contains(pkgPath, "internal/obs") ||
-		strings.Contains(pkgPath, "internal/retry") ||
-		strings.Contains(pkgPath, "internal/faults")
-}
-
-// graphKey keys the propagated call graph in the pass's fact store, so a
-// future analyzer interested in the same facts shares one computation.
-type graphKey struct{}
-
 func run(pass *framework.Pass) error {
-	if !scoped(pass.Pkg.Path()) {
-		return nil
-	}
-	graph := pass.Fact(graphKey{}, func() any {
-		g := cflite.BuildCallGraph(pass.Info, pass.Syntax)
-		g.Propagate()
-		return g
-	}).(*cflite.CallGraph)
-
+	graph := cflite.Graph(pass)
 	for _, node := range graph.Nodes {
-		if node.Decl.Body == nil {
+		if node.Body() == nil || node.Enclosed {
+			// Body-less declarations carry no facts; enclosed bound
+			// literals are already covered by their enclosing declaration's
+			// walks (the node exists only to give calls an edge).
 			continue
 		}
 		checkDecl(pass, node)
 		checkCallSites(pass, node)
-		ast.Inspect(node.Decl.Body, func(n ast.Node) bool {
+		ast.Inspect(node.Body(), func(n ast.Node) bool {
 			if g, ok := n.(*ast.GoStmt); ok {
 				checkSpawn(pass, g)
 			}
@@ -113,11 +96,11 @@ func checkDecl(pass *framework.Pass, node *cflite.FuncNode) {
 			what = "contains an unbounded loop"
 		}
 		if len(node.CtxParams) == 0 {
-			pass.Reportf(node.Decl.Pos(), "%s %s but takes no context.Context; accept a ctx and select on ctx.Done()", name, what)
+			pass.Reportf(node.Pos(), "%s %s but takes no context.Context; accept a ctx and select on ctx.Done()", name, what)
 			return
 		}
 		if !node.Consults {
-			pass.Reportf(node.Decl.Pos(), "%s %s and takes a context.Context but never consults it (nor passes it to a callee that does); select on ctx.Done() or check ctx.Err()", name, what)
+			pass.Reportf(node.Pos(), "%s %s and takes a context.Context but never consults it (nor passes it to a callee that does); select on ctx.Done() or check ctx.Err()", name, what)
 		}
 		return
 	}
@@ -125,12 +108,14 @@ func checkDecl(pass *framework.Pass, node *cflite.FuncNode) {
 	// live pass, in or out of the graph — a helper that hands its ctx to
 	// a non-consulting sibling is not flagged here; the sibling is.
 	if len(node.CtxParams) > 0 && !node.ConsultsDirect && !node.ForwardsLive {
-		pass.Reportf(node.Decl.Pos(), "%s receives a context.Context but never consults it and passes it nowhere; drop the parameter or consult the ctx", name)
+		pass.Reportf(node.Pos(), "%s receives a context.Context but never consults it and passes it nowhere; drop the parameter or consult the ctx", name)
 	}
 }
 
 // checkCallSites applies the call-site rules (3 and 4) inside one
-// ctx-taking function.
+// ctx-taking function. When the requiring callee is another package's
+// function (known through its exported facts), the diagnostic carries
+// provenance naming the evidence.
 func checkCallSites(pass *framework.Pass, node *cflite.FuncNode) {
 	if len(node.CtxParams) == 0 {
 		return // minting a root context is the entry-point shape
@@ -141,20 +126,33 @@ func checkCallSites(pass *framework.Pass, node *cflite.FuncNode) {
 		}
 		switch {
 		case cs.CtxArg == cflite.CtxArgBackground:
-			pass.Reportf(cs.Call.Pos(), "%s passes a fresh context.Background()/context.TODO() to %s, which %s; pass the incoming ctx so cancellation reaches it",
+			report(pass, cs, "%s passes a fresh context.Background()/context.TODO() to %s, which %s; pass the incoming ctx so cancellation reaches it",
 				node.Name(), cs.Callee.Name(), describeRequirement(cs.Callee))
 		case cs.CtxArg == cflite.CtxArgNone && len(cs.Callee.CtxParams) == 0 && !cs.Callee.Direct():
 			// Direct spawners/loopers without a ctx param are already
-			// flagged at their own declaration by rule 1; flagging the
-			// call too would say the same thing twice.
-			pass.Reportf(cs.Call.Pos(), "%s drops its context calling %s, which %s but takes none; plumb the ctx through %s",
+			// flagged at their own declaration by rule 1 (in their own
+			// package's run, for external callees); flagging the call too
+			// would say the same thing twice.
+			report(pass, cs, "%s drops its context calling %s, which %s but takes none; plumb the ctx through %s",
 				node.Name(), cs.Callee.Name(), describeRequirement(cs.Callee), cs.Callee.Name())
 		}
 	}
 }
 
+// report emits a call-site diagnostic, attaching fact provenance when
+// the finding rests on another package's exported facts.
+func report(pass *framework.Pass, cs cflite.CallSite, format string, args ...any) {
+	if cs.Callee.External {
+		prov := cs.Callee.FullName() + ": " + describeRequirement(cs.Callee)
+		pass.ReportfProvenance(cs.Call.Pos(), prov, format, args...)
+		return
+	}
+	pass.Reportf(cs.Call.Pos(), format, args...)
+}
+
 // describeRequirement says why the callee needs a context, naming the
-// transitive path's first hop when the requirement is inherited.
+// transitive path's first hop when the requirement is inherited (for an
+// external callee, the hop recorded in its exporting package).
 func describeRequirement(n *cflite.FuncNode) string {
 	switch {
 	case n.Spawns:
@@ -163,6 +161,8 @@ func describeRequirement(n *cflite.FuncNode) string {
 		return "contains an unbounded loop"
 	case n.RequiresVia != nil:
 		return "requires a context via " + n.RequiresVia.Name()
+	case n.FactVia != "":
+		return "requires a context via " + n.FactVia
 	}
 	return "requires a context"
 }

@@ -8,7 +8,11 @@ import (
 )
 
 func TestCtxflow(t *testing.T) {
+	// Dependencies before dependents: crosspkg/b's facts must be exported
+	// before crosspkg/a is analyzed (as cmd/hpclint's topological load
+	// order guarantees module-wide).
 	analysistest.Run(t, "testdata", ctxflow.Analyzer,
-		"internal/study", "internal/simexec", "internal/obs",
-		"internal/retry", "internal/faults", "pipeline")
+		"internal/obs", "internal/retry", "internal/faults",
+		"internal/study", "internal/simexec", "pipeline",
+		"crosspkg/b", "crosspkg/a", "funcfield")
 }

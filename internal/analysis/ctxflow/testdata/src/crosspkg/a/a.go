@@ -1,0 +1,44 @@
+// Package a exercises the cross-package rules: package b is analyzed
+// first and its exported facts flow here.
+package a
+
+import (
+	"context"
+
+	"crosspkg/b"
+)
+
+// sever hands b.Run a fresh root even though a live ctx is in hand; the
+// requirement is visible only through b's exported facts (the spawn is
+// in b.worker, not b.Run).
+func sever(ctx context.Context, n int) int {
+	defer func() { _ = ctx.Err() }()
+	return b.Run(context.Background(), n) // want `sever passes a fresh context\.Background\(\)/context\.TODO\(\) to b\.Run, which requires a context via crosspkg/b\.worker`
+}
+
+// forward passes the live ctx: the same call draws no diagnostic.
+func forward(ctx context.Context, n int) int {
+	return b.Run(ctx, n)
+}
+
+// spawnsDead spawns but its ctx only ever reaches b.Note, which b's
+// facts say never consults it — so the ctx is not a cancellation point.
+func spawnsDead(ctx context.Context) { // want `spawnsDead spawns a goroutine and takes a context\.Context but never consults it`
+	done := make(chan struct{})
+	go func() {
+		close(done)
+	}()
+	<-done
+	b.Note(ctx, "checkpoint")
+}
+
+// spawnsLive is the same shape with the ctx forwarded to b.Run, which
+// consults it: clean.
+func spawnsLive(ctx context.Context) {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		b.Run(ctx, 1)
+	}()
+	<-done
+}

@@ -1,0 +1,31 @@
+// Package b is the dependency side of the cross-package fixtures: its
+// exported facts (Run transitively requires and consults a ctx, Note
+// consults nothing) drive diagnostics in the dependent package a.
+package b
+
+import "context"
+
+// Run transitively requires a context: the spawn lives in worker, one
+// hop down, so a caller severing cancellation here is only caught
+// through exported facts.
+func Run(ctx context.Context, n int) int {
+	return worker(ctx, n)
+}
+
+func worker(ctx context.Context, n int) int {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		<-ctx.Done()
+	}()
+	<-done
+	return n
+}
+
+// Note receives a ctx and ignores it entirely. The dead parameter is
+// flagged here, in its own package — and its exported non-consulting
+// fact means handing a ctx to Note does not count as consulting in
+// package a either.
+func Note(ctx context.Context, msg string) string { // want `Note receives a context\.Context but never consults it`
+	return msg
+}

@@ -1,0 +1,57 @@
+// Package funcfield exercises function-value resolution: a call through
+// a function-typed field or variable resolves to a real edge when the
+// bound value is unique, and stays conservative when it is ambiguous.
+package funcfield
+
+import "context"
+
+func spawny(ctx context.Context) {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		<-ctx.Done()
+	}()
+	<-done
+}
+
+func quiet(ctx context.Context) {
+	_ = ctx.Err()
+}
+
+type handler struct {
+	// resolved is assigned exactly once, so calls through it resolve to
+	// spawny and the Background sever below is caught.
+	resolved func(context.Context)
+	// ambiguous has two static candidates; calls through it stay
+	// unresolved and draw no interprocedural diagnostics.
+	ambiguous func(context.Context)
+}
+
+func newHandler() *handler {
+	return &handler{resolved: spawny, ambiguous: spawny}
+}
+
+func reconfigure(h *handler) {
+	h.ambiguous = quiet
+}
+
+func dispatchResolved(ctx context.Context, h *handler) {
+	h.resolved(context.Background()) // want `dispatchResolved passes a fresh context\.Background\(\)/context\.TODO\(\) to spawny, which spawns a goroutine`
+	_ = ctx.Err()
+}
+
+func dispatchAmbiguous(ctx context.Context, h *handler) {
+	h.ambiguous(context.Background())
+	_ = ctx.Err()
+}
+
+// tick is a package-level bound literal: a first-class graph node, so
+// rule 1 sees its unbounded loop even though no FuncDecl exists.
+var tick = func(stop *bool) { // want `tick contains an unbounded loop but takes no context\.Context`
+	for !*stop {
+	}
+}
+
+func useTick(stop *bool) {
+	tick(stop)
+}

@@ -1,10 +1,11 @@
-// Package pipeline sits outside internal/study and internal/simexec:
-// the same shapes draw no ctxflow diagnostics here.
+// Package pipeline sits outside the harness packages the analyzer was
+// once scoped to; the scope is now module-wide, so the same shapes draw
+// the same diagnostics here.
 package pipeline
 
 import "context"
 
-func spawnNoCtx() {
+func spawnNoCtx() { // want `spawnNoCtx spawns a goroutine but takes no context\.Context`
 	done := make(chan struct{})
 	go func() {
 		close(done)
@@ -12,7 +13,7 @@ func spawnNoCtx() {
 	<-done
 }
 
-func loopNoCtx(n int) int {
+func loopNoCtx(n int) int { // want `loopNoCtx contains an unbounded loop but takes no context\.Context`
 	i := 0
 	for i < n {
 		i++
@@ -20,8 +21,6 @@ func loopNoCtx(n int) int {
 	return i
 }
 
-// The interprocedural rules are scope-gated too: this Background drop
-// would be flagged inside internal/study, but not here.
 func spawner(ctx context.Context) {
 	done := make(chan struct{})
 	go func() {
@@ -32,6 +31,6 @@ func spawner(ctx context.Context) {
 }
 
 func dropsBackground(ctx context.Context) error {
-	spawner(context.Background())
+	spawner(context.Background()) // want `dropsBackground passes a fresh context\.Background\(\)/context\.TODO\(\) to spawner`
 	return ctx.Err()
 }

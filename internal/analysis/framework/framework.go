@@ -39,9 +39,98 @@ type Pass struct {
 	Syntax   []*ast.File
 	Pkg      *types.Package
 	Info     *types.Info
+	// Module is the cross-package fact store shared by every package of
+	// one driver run. Analyzers export per-function facts into it after
+	// analyzing a package and look up facts exported by the package's
+	// (already analyzed) dependencies. Nil in ad-hoc passes; the
+	// accessors below are nil-safe.
+	Module *ModuleFacts
 
 	facts *FactStore
 	diags *[]Diagnostic
+}
+
+// ModuleFacts holds the facts every analyzed package exported, keyed by
+// package path and then by function object path (types.Func.FullName():
+// "pkg/path.Func" or "(*pkg/path.Recv).Method"). Object paths — not
+// object identities — make the store robust to a dependency being
+// type-checked twice (once from source for its own analysis, once with
+// bodies skipped as an import). Values are analyzer-defined but must be
+// JSON-marshalable: cmd/hpclint -facts dumps the whole store.
+type ModuleFacts struct {
+	pkgs map[string]map[string]any
+}
+
+// NewModuleFacts returns an empty cross-package fact store.
+func NewModuleFacts() *ModuleFacts {
+	return &ModuleFacts{pkgs: map[string]map[string]any{}}
+}
+
+// Export records a fact for the function object path objPath of package
+// pkgPath, overwriting any previous value.
+func (m *ModuleFacts) Export(pkgPath, objPath string, fact any) {
+	if m == nil {
+		return
+	}
+	set := m.pkgs[pkgPath]
+	if set == nil {
+		set = map[string]any{}
+		m.pkgs[pkgPath] = set
+	}
+	set[objPath] = fact
+}
+
+// Lookup returns the fact exported for obj's declaring package and object
+// path, if any. It is the cross-package half of fact propagation: obj is
+// typically a *types.Func imported from a dependency that an earlier
+// driver iteration analyzed from source.
+func (m *ModuleFacts) Lookup(obj types.Object) (any, bool) {
+	if m == nil || obj == nil || obj.Pkg() == nil {
+		return nil, false
+	}
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return nil, false
+	}
+	v, ok := m.pkgs[obj.Pkg().Path()][fn.FullName()]
+	return v, ok
+}
+
+// Packages returns the sorted package paths with exported facts.
+func (m *ModuleFacts) Packages() []string {
+	if m == nil {
+		return nil
+	}
+	out := make([]string, 0, len(m.pkgs))
+	for p := range m.pkgs {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// PackageFacts returns pkgPath's fact set keyed by object path. The map
+// is the store's own; treat it as read-only.
+func (m *ModuleFacts) PackageFacts(pkgPath string) map[string]any {
+	if m == nil {
+		return nil
+	}
+	return m.pkgs[pkgPath]
+}
+
+// ExportFact records a fact for a function declared in the pass's own
+// package, to be consumed when the package's dependents are analyzed.
+func (p *Pass) ExportFact(obj types.Object, fact any) {
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return
+	}
+	p.Module.Export(p.Pkg.Path(), fn.FullName(), fact)
+}
+
+// ImportedFact looks up the fact a dependency exported for obj.
+func (p *Pass) ImportedFact(obj types.Object) (any, bool) {
+	return p.Module.Lookup(obj)
 }
 
 // FactStore is a per-package key/value store shared by every analyzer
@@ -77,11 +166,28 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
+// ReportfProvenance is Reportf for cross-package findings: provenance
+// names the package/function whose exported fact is the evidence (it
+// rides along in cmd/hpclint's -json output).
+func (p *Pass) ReportfProvenance(pos token.Pos, provenance, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:        p.Fset.Position(pos),
+		Message:    fmt.Sprintf(format, args...),
+		Analyzer:   p.Analyzer.Name,
+		Provenance: provenance,
+	})
+}
+
 // Diagnostic is one finding.
 type Diagnostic struct {
 	Pos      token.Position
 	Message  string
 	Analyzer string
+	// Provenance, when set, names the cross-package fact the finding
+	// rests on ("hpcmetrics/internal/study.RunContext: spawns a
+	// goroutine"), so a diagnostic in package a that exists only because
+	// of package b's body is traceable to b.
+	Provenance string
 }
 
 func (d Diagnostic) String() string {
@@ -89,8 +195,18 @@ func (d Diagnostic) String() string {
 }
 
 // Run applies the analyzers to one loaded package and returns the
-// surviving (non-suppressed) diagnostics in position order.
+// surviving (non-suppressed) diagnostics in position order. The package
+// is analyzed in isolation — no cross-package facts flow in or out; use
+// RunWithModule for module-wide analysis.
 func Run(pkg *load.Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	return RunWithModule(pkg, analyzers, nil)
+}
+
+// RunWithModule is Run with a shared cross-package fact store. Drivers
+// analyzing many packages pass the same ModuleFacts to every call, in
+// dependency order (load.Loader.SortDeps), so each package can consume
+// the facts its dependencies exported.
+func RunWithModule(pkg *load.Package, analyzers []*Analyzer, module *ModuleFacts) ([]Diagnostic, error) {
 	var diags []Diagnostic
 	facts := &FactStore{m: map[any]any{}}
 	for _, a := range analyzers {
@@ -100,6 +216,7 @@ func Run(pkg *load.Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 			Syntax:   pkg.Syntax,
 			Pkg:      pkg.Types,
 			Info:     pkg.Info,
+			Module:   module,
 			facts:    facts,
 			diags:    &diags,
 		}
@@ -122,6 +239,34 @@ func Run(pkg *load.Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 		return a.Analyzer < b.Analyzer
 	})
 	return diags, nil
+}
+
+// Directive is one //hpclint:ignore comment found in a package.
+type Directive struct {
+	File      string
+	Line      int
+	Analyzers []string
+}
+
+// Directives lists the suppression directives present in pkg, in source
+// order. cmd/hpclint -suppressions uses this to diff the module's
+// directive inventory against a committed allowlist, so new suppressions
+// cannot slip in silently.
+func Directives(pkg *load.Package) []Directive {
+	var out []Directive
+	for _, f := range pkg.Syntax {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				names, ok := parseIgnore(c.Text)
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				out = append(out, Directive{File: pos.Filename, Line: pos.Line, Analyzers: names})
+			}
+		}
+	}
+	return out
 }
 
 // suppress drops diagnostics covered by //hpclint:ignore directives.

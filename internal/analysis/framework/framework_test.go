@@ -78,6 +78,81 @@ func TestFactStoreSharedAcrossAnalyzers(t *testing.T) {
 	}
 }
 
+// TestModuleFacts checks the cross-package store end to end: an analyzer
+// exports a fact for a function of the supp fixture, and a later pass
+// over the same store (standing in for a dependent package's run) reads
+// it back through the function's object.
+func TestModuleFacts(t *testing.T) {
+	pkg, err := load.New().LoadAs("testdata/src/supp", "supp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	module := NewModuleFacts()
+	exporter := &Analyzer{
+		Name: "exporter",
+		Doc:  "exports a fact per function",
+		Run: func(pass *Pass) error {
+			for _, f := range pass.Syntax {
+				for _, decl := range f.Decls {
+					if fd, ok := decl.(*ast.FuncDecl); ok {
+						pass.ExportFact(pass.Info.Defs[fd.Name], "fact:"+fd.Name.Name)
+					}
+				}
+			}
+			return nil
+		},
+	}
+	if _, err := RunWithModule(pkg, []*Analyzer{exporter}, module); err != nil {
+		t.Fatal(err)
+	}
+
+	scope := pkg.Types.Scope()
+	obj := scope.Lookup("trigger")
+	if obj == nil {
+		t.Fatal("fixture has no function trigger")
+	}
+	v, ok := module.Lookup(obj)
+	if !ok || v != "fact:trigger" {
+		t.Errorf("Lookup(trigger) = %v, %v; want fact:trigger", v, ok)
+	}
+	if _, ok := module.Lookup(nil); ok {
+		t.Error("Lookup(nil) must miss")
+	}
+	if got := module.Packages(); len(got) != 1 || got[0] != "supp" {
+		t.Errorf("Packages() = %v, want [supp]", got)
+	}
+	if facts := module.PackageFacts("supp"); facts["supp.trigger"] != "fact:trigger" {
+		t.Errorf(`PackageFacts["supp.trigger"] = %v`, facts["supp.trigger"])
+	}
+
+	// Nil-safe accessors: analyzers run fine in isolated (module-less)
+	// passes.
+	var nilStore *ModuleFacts
+	nilStore.Export("p", "o", 1)
+	if _, ok := nilStore.Lookup(obj); ok {
+		t.Error("nil store Lookup must miss")
+	}
+}
+
+// TestDirectives checks the suppression inventory used by the CI
+// allowlist diff: every //hpclint:ignore comment in the fixture is
+// listed with its analyzers.
+func TestDirectives(t *testing.T) {
+	pkg, err := load.New().LoadAs("testdata/src/supp", "supp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := Directives(pkg)
+	if len(ds) == 0 {
+		t.Fatal("supp fixture has ignore directives; Directives returned none")
+	}
+	for _, d := range ds {
+		if !strings.HasSuffix(d.File, "supp.go") || d.Line == 0 || len(d.Analyzers) == 0 {
+			t.Errorf("malformed directive entry %+v", d)
+		}
+	}
+}
+
 // TestSuppressionMatrix runs a toy analyzer (flag every call to trigger)
 // over the supp fixture and checks exactly which diagnostics survive the
 // //hpclint:ignore directives: trailing same-line, line-above, multiline

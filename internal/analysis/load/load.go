@@ -129,6 +129,83 @@ func Expand(patterns []string) ([]string, error) {
 	return dirs, nil
 }
 
+// ModuleRoot returns the enclosing module's directory, discovering it
+// from dir on first use (the same discovery Load performs).
+func (l *Loader) ModuleRoot(dir string) string {
+	if abs, err := filepath.Abs(dir); err == nil {
+		l.findModule(abs)
+	}
+	return l.moduleRoot
+}
+
+// SortDeps orders package directories so that every module-internal
+// dependency precedes its dependents (a topological order over the
+// import edges between the given directories; ties keep the input's
+// relative order). Drivers that propagate per-package facts downstream
+// (cmd/hpclint) load in this order, so a package's dependencies are
+// always analyzed — and their facts exported — first. Go forbids import
+// cycles, so the sort always completes.
+func (l *Loader) SortDeps(dirs []string) ([]string, error) {
+	if len(dirs) == 0 {
+		return dirs, nil
+	}
+	l.findModule(dirs[0])
+	byPath := make(map[string]int, len(dirs)) // import path -> input index
+	paths := make([]string, len(dirs))
+	for i, dir := range dirs {
+		paths[i] = l.importPathFor(dir)
+		byPath[paths[i]] = i
+	}
+	imports := make([][]string, len(dirs))
+	for i, dir := range dirs {
+		bp, err := l.ctxt.ImportDir(dir, 0)
+		if err != nil {
+			return nil, fmt.Errorf("load: %s: %w", dir, err)
+		}
+		imports[i] = bp.Imports
+	}
+	var (
+		out     = make([]string, 0, len(dirs))
+		done    = make([]bool, len(dirs))
+		visit   func(i int)
+		pending = make([]bool, len(dirs))
+	)
+	visit = func(i int) {
+		if done[i] || pending[i] {
+			return // pending guards against a (compiler-rejected) cycle
+		}
+		pending[i] = true
+		for _, imp := range imports[i] {
+			if j, ok := byPath[imp]; ok {
+				visit(j)
+			}
+		}
+		pending[i] = false
+		done[i] = true
+		out = append(out, dirs[i])
+	}
+	for i := range dirs {
+		visit(i)
+	}
+	return out, nil
+}
+
+// importPathFor derives dir's import path from the enclosing module, the
+// same way Load does.
+func (l *Loader) importPathFor(dir string) string {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return filepath.Base(dir)
+	}
+	pkgPath := filepath.Base(abs)
+	if l.modulePath != "" {
+		if rel, err := filepath.Rel(l.moduleRoot, abs); err == nil && !strings.HasPrefix(rel, "..") {
+			pkgPath = path.Join(l.modulePath, filepath.ToSlash(rel))
+		}
+	}
+	return pkgPath
+}
+
 func hasGoFiles(dir string) bool {
 	ents, err := os.ReadDir(dir)
 	if err != nil {
@@ -152,13 +229,7 @@ func (l *Loader) Load(dir string) (*Package, error) {
 		return nil, fmt.Errorf("load: %w", err)
 	}
 	l.findModule(abs)
-	pkgPath := filepath.Base(abs)
-	if l.modulePath != "" {
-		if rel, err := filepath.Rel(l.moduleRoot, abs); err == nil && !strings.HasPrefix(rel, "..") {
-			pkgPath = path.Join(l.modulePath, filepath.ToSlash(rel))
-		}
-	}
-	return l.LoadAs(abs, pkgPath)
+	return l.LoadAs(abs, l.importPathFor(abs))
 }
 
 // LoadAs is Load with an explicit import path (used by analysistest,
@@ -185,9 +256,11 @@ func (l *Loader) LoadAs(dir, pkgPath string) (*Package, error) {
 	if err != nil {
 		return nil, fmt.Errorf("load: type-checking %s: %w", pkgPath, err)
 	}
-	if _, ok := l.cache[pkgPath]; !ok {
-		l.cache[pkgPath] = tpkg
-	}
+	// A fully loaded package replaces any bodies-skipped version a
+	// dependent may have pulled in earlier: later importers then share the
+	// richer objects, and (with SortDeps ordering) each module-internal
+	// package is parsed exactly once.
+	l.cache[pkgPath] = tpkg
 	return &Package{
 		PkgPath: pkgPath,
 		Dir:     dir,
@@ -218,28 +291,26 @@ func (l *Loader) parseDir(dir string) ([]*ast.File, error) {
 	return files, nil
 }
 
-// findModule locates the enclosing go.mod, once.
+// findModule locates the enclosing go.mod, once. The walk toward the
+// filesystem root is a bounded three-clause loop: filepath.Dir is a fixed
+// point at the root, which the condition detects.
 func (l *Loader) findModule(dir string) {
 	if l.moduleRoot != "" {
 		return
 	}
-	for d := dir; ; {
+	for d, last := dir, ""; d != last; d, last = filepath.Dir(d), d {
 		data, err := os.ReadFile(filepath.Join(d, "go.mod"))
-		if err == nil {
-			l.moduleRoot = d
-			for _, line := range strings.Split(string(data), "\n") {
-				if rest, ok := strings.CutPrefix(strings.TrimSpace(line), "module "); ok {
-					l.modulePath = strings.TrimSpace(rest)
-					break
-				}
+		if err != nil {
+			continue
+		}
+		l.moduleRoot = d
+		for _, line := range strings.Split(string(data), "\n") {
+			if rest, ok := strings.CutPrefix(strings.TrimSpace(line), "module "); ok {
+				l.modulePath = strings.TrimSpace(rest)
+				break
 			}
-			return
 		}
-		parent := filepath.Dir(d)
-		if parent == d {
-			return
-		}
-		d = parent
+		return
 	}
 }
 

@@ -42,14 +42,14 @@ func run(pass *framework.Pass) error {
 	if len(guarded) == 0 {
 		return nil
 	}
-	for _, f := range pass.Syntax {
-		for _, decl := range f.Decls {
-			fd, ok := decl.(*ast.FuncDecl)
-			if !ok || fd.Body == nil {
-				continue
-			}
-			checkFunc(pass, fd, guarded)
+	// Iterating the call graph's nodes (not raw FuncDecls) covers
+	// package-level bound function literals — `var f = func() {...}` —
+	// which a declaration walk never sees.
+	for _, n := range cflite.Graph(pass).Nodes {
+		if n.Body() == nil || n.Enclosed {
+			continue
 		}
+		checkFunc(pass, n.Body(), guarded)
 	}
 	return nil
 }
@@ -95,7 +95,7 @@ func annotationName(field *ast.Field) string {
 	return ""
 }
 
-func checkFunc(pass *framework.Pass, fd *ast.FuncDecl, guarded map[types.Object]string) {
+func checkFunc(pass *framework.Pass, body *ast.BlockStmt, guarded map[types.Object]string) {
 	w := &cflite.LockWalker{
 		OnNode: func(n ast.Node, held map[string]cflite.LockSite) {
 			sel, ok := n.(*ast.SelectorExpr)
@@ -120,5 +120,5 @@ func checkFunc(pass *framework.Pass, fd *ast.FuncDecl, guarded map[types.Object]
 			}
 		},
 	}
-	w.Walk(fd.Body)
+	w.Walk(body)
 }

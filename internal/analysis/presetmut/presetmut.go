@@ -227,22 +227,23 @@ func lookup(pass *framework.Pass, vars map[types.Object]*tracked, e ast.Expr) *t
 // the target is a field (or element) of that base rather than the base
 // itself.
 func writeBase(lhs ast.Expr) (base ast.Expr, isField bool) {
-	for {
-		switch e := lhs.(type) {
-		case *ast.SelectorExpr:
-			lhs, isField = e.X, true
-		case *ast.IndexExpr:
-			// Stop if the index base is itself the registry map read; the
-			// caller inspects that case. Otherwise keep unwrapping.
-			lhs, isField = e.X, true
-		case *ast.ParenExpr:
-			lhs = e.X
-		case *ast.StarExpr:
-			lhs, isField = e.X, true
-		default:
-			return lhs, isField
-		}
+	// Recursion bounds the unwrap by the expression's syntactic depth.
+	switch e := lhs.(type) {
+	case *ast.SelectorExpr:
+		base, _ = writeBase(e.X)
+		return base, true
+	case *ast.IndexExpr:
+		// The caller inspects the case where the index base is itself the
+		// registry map read; here it is just another unwrap step.
+		base, _ = writeBase(e.X)
+		return base, true
+	case *ast.ParenExpr:
+		return writeBase(e.X)
+	case *ast.StarExpr:
+		base, _ = writeBase(e.X)
+		return base, true
 	}
+	return lhs, false
 }
 
 // isPresetCall recognizes Preset / MustPreset calls from a package named

@@ -1,0 +1,54 @@
+package analysis
+
+import (
+	"hpcmetrics/internal/analysis/framework"
+	"hpcmetrics/internal/analysis/load"
+)
+
+// Result is one module-wide analysis run.
+type Result struct {
+	// Diagnostics are the surviving findings of every analyzed package,
+	// in package load (dependency) order, position-sorted within each.
+	Diagnostics []framework.Diagnostic
+	// Facts is the cross-package fact store the run accumulated
+	// (cmd/hpclint -facts dumps it).
+	Facts *framework.ModuleFacts
+	// Directives lists every //hpclint:ignore comment seen, for diffing
+	// against the committed suppression allowlist.
+	Directives []framework.Directive
+	// Packages counts the packages analyzed.
+	Packages int
+}
+
+// Run applies the analyzers to every package matching patterns, in
+// dependency order with a shared cross-package fact store: a package's
+// dependencies are analyzed — and their facts exported — before the
+// package itself, so Background severs and dropped contexts are visible
+// across package boundaries. It is the engine behind cmd/hpclint and
+// the module-analysis benchmark.
+func Run(patterns []string, analyzers []*framework.Analyzer) (*Result, error) {
+	dirs, err := load.Expand(patterns)
+	if err != nil {
+		return nil, err
+	}
+	loader := load.New()
+	dirs, err = loader.SortDeps(dirs)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Facts: framework.NewModuleFacts()}
+	for _, dir := range dirs {
+		pkg, err := loader.Load(dir)
+		if err != nil {
+			return nil, err
+		}
+		diags, err := framework.RunWithModule(pkg, analyzers, res.Facts)
+		if err != nil {
+			return nil, err
+		}
+		res.Diagnostics = append(res.Diagnostics, diags...)
+		res.Directives = append(res.Directives, framework.Directives(pkg)...)
+		res.Packages++
+	}
+	return res, nil
+}

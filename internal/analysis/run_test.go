@@ -1,0 +1,24 @@
+package analysis
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// BenchmarkHpclintModule times one whole-module analysis pass — pattern
+// expansion, dependency-ordered loading, type-checking, every analyzer,
+// and cross-package fact propagation — the same work `make lint` gates
+// CI on. cmd/benchstudy records the equivalent wall time in
+// BENCH_study.json so analyzer cost is part of the perf trajectory.
+func BenchmarkHpclintModule(b *testing.B) {
+	root := filepath.Join("..", "..")
+	for i := 0; i < b.N; i++ {
+		res, err := Run([]string{root + "/..."}, All())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Packages == 0 {
+			b.Fatal("no packages analyzed")
+		}
+	}
+}

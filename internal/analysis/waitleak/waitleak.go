@@ -39,16 +39,19 @@ var Analyzer = &framework.Analyzer{
 }
 
 func run(pass *framework.Pass) error {
-	for _, f := range pass.Syntax {
-		for _, decl := range f.Decls {
-			fd, ok := decl.(*ast.FuncDecl)
-			if !ok || fd.Body == nil {
-				continue
-			}
-			checkWaitGroups(pass, fd)
-			checkGoroutineSends(pass, fd)
-			checkDeferlessLocks(pass, fd)
+	// The call graph's nodes cover declarations plus package-level bound
+	// function literals, and its edges let `go f()` spawns resolve to f's
+	// body (checkGoroutineSends); checked dedupes a callee body spawned
+	// from several sites.
+	graph := cflite.Graph(pass)
+	checked := map[*cflite.FuncNode]bool{}
+	for _, n := range graph.Nodes {
+		if n.Body() == nil || n.Enclosed {
+			continue
 		}
+		checkWaitGroups(pass, n.Body())
+		checkGoroutineSends(pass, graph, n.Body(), checked)
+		checkDeferlessLocks(pass, n.Body())
 	}
 	return nil
 }
@@ -64,9 +67,9 @@ type wgCounts struct {
 	doneDepth map[int]bool
 }
 
-func checkWaitGroups(pass *framework.Pass, fd *ast.FuncDecl) {
+func checkWaitGroups(pass *framework.Pass, body *ast.BlockStmt) {
 	groups := map[string]*wgCounts{}
-	walkDepth(fd.Body, 0, func(n ast.Node, depth int) {
+	walkDepth(body, 0, func(n ast.Node, depth int) {
 		call, ok := n.(*ast.CallExpr)
 		if !ok {
 			return
@@ -189,19 +192,43 @@ func constInt(pass *framework.Pass, call *ast.CallExpr) (int64, bool) {
 
 // --- check 2: goroutine sends without a cancellation escape ---
 
-func checkGoroutineSends(pass *framework.Pass, fd *ast.FuncDecl) {
-	ast.Inspect(fd.Body, func(n ast.Node) bool {
+func checkGoroutineSends(pass *framework.Pass, graph *cflite.CallGraph, body *ast.BlockStmt, checked map[*cflite.FuncNode]bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
 		g, ok := n.(*ast.GoStmt)
 		if !ok {
 			return true
 		}
-		lit, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit)
-		if !ok {
+		if lit, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit); ok {
+			checkSends(pass, lit.Body, false)
 			return true
 		}
-		checkSends(pass, lit.Body, false)
+		// go f() / go pkgFunc(): the named callee's body runs in a
+		// goroutine; its bare sends leak exactly like a literal's. Resolve
+		// through the graph (declarations and uniquely bound function
+		// values); once per callee body is enough however many sites spawn
+		// it.
+		if target := spawnTarget(pass, graph, g.Call); target != nil && target.Body() != nil && !checked[target] {
+			checked[target] = true
+			checkSends(pass, target.Body(), false)
+		}
 		return true
 	})
+}
+
+// spawnTarget resolves a go statement's named callee to its graph node,
+// or nil for unresolved targets (interface methods, ambiguous values).
+func spawnTarget(pass *framework.Pass, graph *cflite.CallGraph, call *ast.CallExpr) *cflite.FuncNode {
+	var obj types.Object
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj = pass.Info.Uses[fun]
+	case *ast.SelectorExpr:
+		obj = pass.Info.Uses[fun.Sel]
+	}
+	if obj == nil {
+		return nil
+	}
+	return graph.NodeFor(obj)
 }
 
 // checkSends flags send statements not covered by an escapable select.
@@ -273,7 +300,7 @@ func recvFromDone(pass *framework.Pass, s ast.Stmt) bool {
 
 // --- check 3: defer-less locks escaping through early returns ---
 
-func checkDeferlessLocks(pass *framework.Pass, fd *ast.FuncDecl) {
+func checkDeferlessLocks(pass *framework.Pass, body *ast.BlockStmt) {
 	leaks := map[token.Pos]string{}
 	w := &cflite.LockWalker{
 		OnReturn: func(_ *ast.ReturnStmt, plain map[string]cflite.LockSite) {
@@ -282,7 +309,7 @@ func checkDeferlessLocks(pass *framework.Pass, fd *ast.FuncDecl) {
 			}
 		},
 	}
-	w.Walk(fd.Body)
+	w.Walk(body)
 	order := make([]token.Pos, 0, len(leaks))
 	for pos := range leaks {
 		order = append(order, pos)

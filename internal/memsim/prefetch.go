@@ -1,5 +1,7 @@
 package memsim
 
+import "math/bits"
+
 // prefetcher models a hardware stride prefetcher trained on the L1 miss
 // stream, at line granularity. Each tracked stream remembers the last miss
 // line and the stride between its last two misses. A miss that lands where
@@ -104,9 +106,10 @@ const (
 )
 
 func newTLB(entries int, pageBytes int64) *tlb {
+	// Smallest power of two with nSets*tlbWays >= entries.
 	nSets := 1
-	for nSets*tlbWays < entries {
-		nSets <<= 1
+	if need := (entries + tlbWays - 1) / tlbWays; need > 1 {
+		nSets = 1 << bits.Len(uint(need-1))
 	}
 	t := &tlb{
 		sets:    make([][tlbWays]uint64, nSets),

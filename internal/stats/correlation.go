@@ -44,9 +44,11 @@ func ranks(xs []float64) []float64 {
 		j := i
 		// Midranking needs exact equality: a tie is "the sort could not
 		// separate them", not "they are within an epsilon".
-		//hpclint:ignore floatcmp rank ties are defined by exact equality
-		for j+1 < n && xs[idx[j+1]] == xs[idx[i]] {
-			j++
+		for ; j+1 < n; j++ {
+			//hpclint:ignore floatcmp rank ties are defined by exact equality
+			if xs[idx[j+1]] != xs[idx[i]] {
+				break
+			}
 		}
 		avg := float64(i+j)/2 + 1
 		for k := i; k <= j; k++ {
