@@ -29,11 +29,16 @@ race-full:
 # suite (cmd/hpclint), plus a suppression audit: the //hpclint:ignore
 # inventory must match the committed allowlist exactly, so a new
 # suppression cannot slip in without a reviewed lint-suppressions.txt
-# change (and a stale allowlist entry fails too).
+# change (and a stale allowlist entry fails too). Both sides of the diff
+# are normalized with `LC_ALL=C sort -u` so the gate is order-stable
+# across platforms and locales (hpclint emits the same byte order, but
+# the committed file may have been hand-edited).
 lint:
 	$(GO) vet ./...
 	$(GO) run ./cmd/hpclint ./...
-	$(GO) run ./cmd/hpclint -suppressions ./... | diff -u lint-suppressions.txt -
+	LC_ALL=C sort -u lint-suppressions.txt >lint-suppressions.sorted.tmp; \
+	$(GO) run ./cmd/hpclint -suppressions ./... | LC_ALL=C sort -u | diff -u lint-suppressions.sorted.tmp -; \
+	st=$$?; rm -f lint-suppressions.sorted.tmp; exit $$st
 
 # lint-fixtures runs the analyzer unit and fixture tests (the analyzers'
 # own correctness, as opposed to lint's application of them to the repo).

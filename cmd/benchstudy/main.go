@@ -12,9 +12,16 @@
 // toolchain/host it was measured, and a nonzero retry count flags that
 // the timing was taken on a re-executing run.
 //
+// The report also times one module-wide hpclint pass, with the
+// interface-devirtualization share broken out as hpclint_iface_seconds;
+// -lint-baseline compares the pass against a committed baseline report
+// (BENCH_baseline.json) and fails when it exceeds twice the recorded
+// hpclint_seconds, so analyzer cost cannot silently balloon.
+//
 // Usage:
 //
-//	benchstudy [-out BENCH_study.json] [-cpuprofile f] [-memprofile f] [-tracefile f]
+//	benchstudy [-out BENCH_study.json] [-lint-baseline BENCH_baseline.json]
+//	           [-cpuprofile f] [-memprofile f] [-tracefile f]
 package main
 
 import (
@@ -45,11 +52,15 @@ type report struct {
 	// (load + type-check + all analyzers over HpclintPackages packages),
 	// so analyzer cost is part of the perf trajectory alongside the study
 	// itself. Zero when the module tree is not reachable from the cwd.
-	HpclintSeconds  float64          `json:"hpclint_seconds,omitempty"`
-	HpclintPackages int              `json:"hpclint_packages,omitempty"`
-	Phases          []obs.PhaseStat  `json:"phases"`
-	Counters        map[string]int64 `json:"counters,omitempty"`
-	Manifest        obs.Manifest     `json:"manifest"`
+	// HpclintIfaceSeconds is the slice of that wall time spent collecting
+	// interface-implementor facts for devirtualization, reported
+	// separately so the resolution overhead is trendable on its own.
+	HpclintSeconds      float64          `json:"hpclint_seconds,omitempty"`
+	HpclintIfaceSeconds float64          `json:"hpclint_iface_seconds,omitempty"`
+	HpclintPackages     int              `json:"hpclint_packages,omitempty"`
+	Phases              []obs.PhaseStat  `json:"phases"`
+	Counters            map[string]int64 `json:"counters,omitempty"`
+	Manifest            obs.Manifest     `json:"manifest"`
 }
 
 // robustnessCounters extracts the retry/skip counters from a run's
@@ -70,6 +81,7 @@ func robustnessCounters(snap obs.Snapshot) map[string]int64 {
 
 func main() {
 	out := flag.String("out", "BENCH_study.json", "path for the JSON timing report")
+	lintBaseline := flag.String("lint-baseline", "", "baseline report JSON; fail if the hpclint pass exceeds 2x its recorded hpclint_seconds")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this path")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this path")
 	tracefile := flag.String("tracefile", "", "write a runtime/trace execution trace to this path")
@@ -142,7 +154,22 @@ func main() {
 		log.Printf("benchstudy: hpclint timing skipped: %v", err)
 	} else {
 		r.HpclintSeconds = time.Since(lintStart).Seconds()
+		r.HpclintIfaceSeconds = lintRes.IfaceSeconds
 		r.HpclintPackages = lintRes.Packages
+	}
+	// The budget gate: against a committed baseline report, a module pass
+	// slower than 2x the recorded wall time fails the run, so analyzer
+	// cost (devirtualization included) cannot silently balloon.
+	if *lintBaseline != "" && r.HpclintSeconds > 0 {
+		base, err := readBaselineSeconds(*lintBaseline)
+		if err != nil {
+			log.Fatalf("benchstudy: reading -lint-baseline: %v", err)
+		}
+		if base > 0 && r.HpclintSeconds > 2*base {
+			log.Fatalf("benchstudy: hpclint module pass took %.2fs, over the 2x budget against the %.2fs baseline in %s",
+				r.HpclintSeconds, base, *lintBaseline)
+		}
+		fmt.Printf("hpclint budget ok: %.2fs within 2x of the %.2fs baseline\n", r.HpclintSeconds, base)
 	}
 	buf, err := json.MarshalIndent(r, "", "  ")
 	if err != nil {
@@ -169,6 +196,25 @@ func main() {
 			log.Fatalf("benchstudy: %v", err)
 		}
 	}
+}
+
+// readBaselineSeconds pulls hpclint_seconds out of a previously written
+// report (BENCH_baseline.json or an old BENCH_study.json).
+func readBaselineSeconds(path string) (float64, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return 0, err
+	}
+	var base struct {
+		HpclintSeconds float64 `json:"hpclint_seconds"`
+	}
+	if err := json.Unmarshal(buf, &base); err != nil {
+		return 0, fmt.Errorf("%s: %w", path, err)
+	}
+	if base.HpclintSeconds <= 0 {
+		return 0, fmt.Errorf("%s: no hpclint_seconds recorded", path)
+	}
+	return base.HpclintSeconds, nil
 }
 
 func timeRun(opts study.Options, workers int) (time.Duration, *obs.Obs, error) {

@@ -10,7 +10,14 @@
 // each package's propagated context facts (requires-ctx, consults-ctx,
 // spawns, unbounded) are exported for its dependents, so a
 // context.Background() sever or a dropped ctx is flagged even when the
-// requiring body lives in another package.
+// requiring body lives in another package. Interface-method calls are
+// devirtualized where provably sound (a unique receiver binding, a sole
+// module-wide implementor, or implementors whose facts all agree); the
+// loaded package set is the closed world those resolutions rest on, so
+// a package that fails to load or type-check is a correctness hole, not
+// an inconvenience: every such package is reported to stderr by import
+// path and the run exits 2, even though the loadable remainder is still
+// analyzed and its findings printed.
 //
 // Usage:
 //
@@ -20,12 +27,16 @@
 // default is ./... . With -json each diagnostic is emitted as one JSON
 // object per line ({"file","line","col","analyzer","message"}, plus
 // "provenance" on cross-package findings naming the exported fact the
-// finding rests on) so CI can annotate pull requests; the plain-text
-// format is unchanged by default. -facts dumps the per-package exported
-// fact sets instead of diagnostics; -suppressions lists every
-// //hpclint:ignore directive (file, line-less, analyzer names) for
-// diffing against a committed allowlist. Suppress a finding with a line
-// or preceding-line comment:
+// finding rests on, and "devirt" on findings whose call edge resolved
+// through an interface method, naming the devirtualized target or the
+// agreeing implementor set) so CI can annotate pull requests; the
+// plain-text format is unchanged by default. -facts dumps the
+// per-package exported fact sets instead of diagnostics; -suppressions
+// lists every //hpclint:ignore directive (file, line-less, analyzer
+// names), byte-sorted and deduplicated — the same order as `LC_ALL=C
+// sort -u`, so the allowlist diff in `make lint` is stable across
+// platforms and locales. Suppress a finding with a line or
+// preceding-line comment:
 //
 //	//hpclint:ignore floatcmp rank ties need exact equality
 package main
@@ -67,6 +78,18 @@ func main() {
 		fmt.Fprintf(os.Stderr, "hpclint: %v\n", err)
 		os.Exit(2)
 	}
+	// Broken packages are holes in the module-wide guarantees (and in the
+	// devirtualization closed world): name each one and fail, but only
+	// after the requested output covers the packages that did load.
+	defer func() {
+		if len(res.LoadErrors) > 0 {
+			for _, pe := range res.LoadErrors {
+				fmt.Fprintf(os.Stderr, "hpclint: package %s failed to load: %v\n", pe.Pkg, pe.Err)
+			}
+			fmt.Fprintf(os.Stderr, "hpclint: %d package(s) failed to load; analysis covered the remainder only\n", len(res.LoadErrors))
+			os.Exit(2)
+		}
+	}()
 	switch {
 	case *facts:
 		if err := writeFacts(os.Stdout, res.Facts); err != nil {
@@ -105,6 +128,11 @@ type jsonDiag struct {
 	// finding rests on ("hpcmetrics/internal/study.RunContext: spawns a
 	// goroutine").
 	Provenance string `json:"provenance,omitempty"`
+	// Devirt, on findings whose call edge resolved through an interface
+	// method, records the dispatch: "(pkg.Doer).Do → (*pkg.Spawner).Do"
+	// for a unique target, "(pkg.Doer).Do agreed by (*pkg.A).Do,
+	// (*pkg.B).Do" for an all-agree consensus edge.
+	Devirt string `json:"devirt,omitempty"`
 }
 
 func writeJSON(w *os.File, diags []framework.Diagnostic) error {
@@ -117,6 +145,7 @@ func writeJSON(w *os.File, diags []framework.Diagnostic) error {
 			Analyzer:   d.Analyzer,
 			Message:    d.Message,
 			Provenance: d.Provenance,
+			Devirt:     d.Devirt,
 		})
 		if err != nil {
 			return err

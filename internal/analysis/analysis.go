@@ -14,6 +14,9 @@
 //	           with that mutex held
 //	waitleak   no WaitGroup arity mismatches, stuck goroutine sends, or
 //	           defer-less locks escaping through early returns
+//	deadlinecheck  no deadline-stripped contexts handed to ctx-requiring
+//	           callees, and HTTP handlers derive work contexts from
+//	           r.Context()
 //
 // The suite is run by cmd/hpclint and gated in CI; individual findings
 // can be suppressed with a //hpclint:ignore directive (see the framework
@@ -22,6 +25,7 @@ package analysis
 
 import (
 	"hpcmetrics/internal/analysis/ctxflow"
+	"hpcmetrics/internal/analysis/deadlinecheck"
 	"hpcmetrics/internal/analysis/detrand"
 	"hpcmetrics/internal/analysis/errflow"
 	"hpcmetrics/internal/analysis/floatcmp"
@@ -43,5 +47,6 @@ func All() []*framework.Analyzer {
 		ctxflow.Analyzer,
 		lockguard.Analyzer,
 		waitleak.Analyzer,
+		deadlinecheck.Analyzer,
 	}
 }

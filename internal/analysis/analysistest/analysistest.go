@@ -20,6 +20,7 @@ import (
 	"strings"
 	"testing"
 
+	"hpcmetrics/internal/analysis/cflite"
 	"hpcmetrics/internal/analysis/framework"
 	"hpcmetrics/internal/analysis/load"
 )
@@ -40,6 +41,12 @@ type expectation struct {
 // dependents (as a module-wide driver's topological order would), so the
 // facts a dependency exports are visible when the dependent is analyzed
 // and cross-package diagnostics can be exercised by fixtures.
+//
+// Mirroring the module driver, the run is two-phase: every listed
+// package is loaded and scanned for concrete-to-interface flows before
+// any is analyzed, and the listed set is the closed world — so fixtures
+// can exercise interface devirtualization, including implementations
+// that live in a later-listed package.
 func Run(t *testing.T, dir string, a *framework.Analyzer, pkgs ...string) {
 	t.Helper()
 	srcRoot, err := filepath.Abs(filepath.Join(dir, "src"))
@@ -49,17 +56,25 @@ func Run(t *testing.T, dir string, a *framework.Analyzer, pkgs ...string) {
 	loader := load.New()
 	loader.SrcRoots = []string{srcRoot}
 	module := framework.NewModuleFacts()
+	loaded := make([]*load.Package, 0, len(pkgs))
 	for _, pkgPath := range pkgs {
 		pkg, err := loader.LoadAs(filepath.Join(srcRoot, filepath.FromSlash(pkgPath)), pkgPath)
 		if err != nil {
 			t.Fatalf("loading fixture %s: %v", pkgPath, err)
 		}
+		loaded = append(loaded, pkg)
+	}
+	module.SetClosed(pkgs)
+	for _, pkg := range loaded {
+		cflite.CollectIfaceFacts(module, pkg.PkgPath, pkg.Info, pkg.Syntax)
+	}
+	for _, pkg := range loaded {
 		diags, err := framework.RunWithModule(pkg, []*framework.Analyzer{a}, module)
 		if err != nil {
-			t.Fatalf("running %s on %s: %v", a.Name, pkgPath, err)
+			t.Fatalf("running %s on %s: %v", a.Name, pkg.PkgPath, err)
 		}
 		expects := collectExpectations(t, pkg)
-		checkPackage(t, pkgPath, diags, expects)
+		checkPackage(t, pkg.PkgPath, diags, expects)
 	}
 }
 

@@ -7,20 +7,27 @@
 //   - Same-package calls whose callee is a FuncDecl (plain functions,
 //     methods on named receivers, method expressions) become edges, as
 //     before.
+//
 //   - Calls through function-typed variables, struct fields, and
 //     parameters resolve when the bound value is package-visible and
 //     unique — a single static assignment of a FuncDecl reference or a
 //     FuncLit (see funcval.go). Unique FuncLit bindings get synthetic
 //     nodes of their own, so a package-level `var run = func() {...}`
 //     is a first-class graph citizen.
+//
 //   - Cross-package calls resolve against the facts the callee's package
 //     exported when it was analyzed earlier in the same driver run
 //     (dependency order): the callee becomes a leaf node pre-seeded with
 //     its propagated requires/consults facts (see fact.go).
 //
-// Everything else — interface methods, ambiguous function values, calls
-// into packages with no exported facts — stays outside the graph and is
-// treated conservatively by the fact propagation below.
+//   - Interface-method calls resolve through the devirtualization ladder
+//     in iface.go: a receiver binding with a unique concrete type, a
+//     module-wide sole implementor, or a synthetic consensus node when
+//     every implementor's facts agree.
+//
+// Everything else — unresolved interface methods, ambiguous function
+// values, calls into packages with no exported facts — stays outside the
+// graph and is treated conservatively by the fact propagation below.
 package cflite
 
 import (
@@ -54,6 +61,11 @@ type CallSite struct {
 	Callee *FuncNode
 	// CtxArg classifies the context argument the call passes, if any.
 	CtxArg CtxArgKind
+	// Iface, when the call was written against an interface method and
+	// devirtualized, is that interface method's object path (the Callee
+	// is the resolved implementor or a consensus node). Empty for direct
+	// calls.
+	Iface string
 }
 
 // FuncNode is one function known to the graph: a declaration of the
@@ -122,6 +134,14 @@ type FuncNode struct {
 	// does, or passes a live context outside the graph (assumed
 	// consulted).
 	Consults bool
+
+	// Implementors, on a synthetic consensus node, lists the object paths
+	// of the agreeing implementors the node stands for.
+	Implementors []string
+	// IfaceUnresolved records, per calling function, the interface-method
+	// calls that stayed conservative because implementors disagreed, as
+	// human-readable provenance strings naming the disagreeing set.
+	IfaceUnresolved []string
 }
 
 // Name returns the function's name: the declared name, the bound
@@ -130,7 +150,7 @@ func (n *FuncNode) Name() string {
 	switch {
 	case n.Decl != nil:
 		return n.Decl.Name.Name
-	case n.External:
+	case n.External && n.Obj != nil:
 		if pkg := n.Obj.Pkg(); pkg != nil {
 			return pkg.Name() + "." + n.Obj.Name()
 		}
@@ -182,6 +202,22 @@ func (n *FuncNode) Direct() bool { return n.Spawns || n.Unbounded }
 // driver run. Nil disables cross-package resolution.
 type ExternalFacts func(obj types.Object) (FuncFacts, bool)
 
+// Externals bundles the module-level lookups the graph uses to resolve
+// past the package boundary. The zero value disables all of them.
+type Externals struct {
+	// Facts resolves a cross-package function object to its exported
+	// facts.
+	Facts ExternalFacts
+	// Impls returns the merged module-wide implementor fact for an
+	// interface method; ok is false when type-level devirtualization is
+	// unusable for it (interface declared outside the closed world, or
+	// nothing collected).
+	Impls func(ifn *types.Func) (ImplFacts, bool)
+	// FactsByPath resolves an implementor known only by object path (a
+	// merged implementor record) to its exported facts.
+	FactsByPath func(objPath string) (FuncFacts, bool)
+}
+
 // CallGraph is the per-package call graph with cross-package leaves.
 type CallGraph struct {
 	// Nodes holds every declared function in file/declaration order,
@@ -190,9 +226,14 @@ type CallGraph struct {
 	// listed; they only appear as CallSite callees.
 	Nodes []*FuncNode
 
-	byObj map[types.Object]*FuncNode
-	ext   map[types.Object]*FuncNode
-	facts ExternalFacts
+	byObj        map[types.Object]*FuncNode
+	byName       map[string]*FuncNode
+	ext          map[types.Object]*FuncNode
+	extByPath    map[string]*FuncNode
+	exts         Externals
+	ifaceBind    map[types.Object]ifaceBinding
+	consensus    map[*types.Func]*FuncNode
+	consensusWhy map[*types.Func]string
 }
 
 // NodeFor returns the node calls through obj resolve to: the declaring
@@ -202,15 +243,20 @@ type CallGraph struct {
 func (g *CallGraph) NodeFor(obj types.Object) *FuncNode { return g.byObj[obj] }
 
 // BuildCallGraph constructs the package call graph over files and
-// records each function's direct observations. ext, when non-nil,
-// resolves cross-package callees to their exported facts. Call
-// Propagate afterwards to compute the interprocedural Requires/Consults
-// facts.
-func BuildCallGraph(info *types.Info, files []*ast.File, ext ExternalFacts) *CallGraph {
+// records each function's direct observations. exts supplies the
+// module-level lookups (cross-package facts, interface implementors);
+// the zero Externals disables cross-package and type-level interface
+// resolution. Call Propagate afterwards to compute the interprocedural
+// Requires/Consults facts.
+func BuildCallGraph(info *types.Info, files []*ast.File, exts Externals) *CallGraph {
 	g := &CallGraph{
-		byObj: map[types.Object]*FuncNode{},
-		ext:   map[types.Object]*FuncNode{},
-		facts: ext,
+		byObj:        map[types.Object]*FuncNode{},
+		byName:       map[string]*FuncNode{},
+		ext:          map[types.Object]*FuncNode{},
+		extByPath:    map[string]*FuncNode{},
+		exts:         exts,
+		consensus:    map[*types.Func]*FuncNode{},
+		consensusWhy: map[*types.Func]string{},
 	}
 	for _, f := range files {
 		for _, decl := range f.Decls {
@@ -222,6 +268,9 @@ func BuildCallGraph(info *types.Info, files []*ast.File, ext ExternalFacts) *Cal
 			g.Nodes = append(g.Nodes, node)
 			if node.Obj != nil {
 				g.byObj[node.Obj] = node
+				if fn, ok := node.Obj.(*types.Func); ok {
+					g.byName[fn.FullName()] = node
+				}
 			}
 		}
 	}
@@ -240,8 +289,8 @@ func (g *CallGraph) externalNode(obj types.Object) *FuncNode {
 		return n
 	}
 	var node *FuncNode
-	if g.facts != nil {
-		if f, ok := g.facts(obj); ok {
+	if g.exts.Facts != nil {
+		if f, ok := g.exts.Facts(obj); ok {
 			node = &FuncNode{
 				External:  true,
 				Obj:       obj,
@@ -330,25 +379,71 @@ func (g *CallGraph) observeCall(info *types.Info, n *FuncNode, call *ast.CallExp
 		}
 	}
 	arg := ctxArgKind(info, call)
-	obj := calleeObject(info, call)
-	// byObj resolves same-package declarations and — through the binding
-	// pass — function-typed variables, fields, and parameters with a
-	// unique static target.
-	callee := g.byObj[obj]
-	if callee == nil && obj != nil && !isObsCallee(obj) {
-		if _, isFunc := obj.(*types.Func); isFunc {
-			callee = g.externalNode(obj)
-		}
-	}
+	callee, iface := g.resolveCallee(info, n, call)
 	if arg == CtxArgLive {
 		n.ForwardsLive = true
-		if callee == nil && !isObsCallee(obj) {
+		if callee == nil && !isObsCallee(calleeObject(info, call)) {
 			n.forwardsOutside = true
 		}
 	}
 	if callee != nil {
-		n.Calls = append(n.Calls, CallSite{Call: call, Callee: callee, CtxArg: arg})
+		n.Calls = append(n.Calls, CallSite{Call: call, Callee: callee, CtxArg: arg, Iface: iface})
 	}
+}
+
+// resolveCallee resolves a call to its graph node: a same-package
+// declaration or bound function value (byObj), a devirtualized interface
+// method, or an external leaf from exported facts. iface is the
+// interface method's object path when devirtualization supplied the
+// node. n, when non-nil, receives provenance for interface calls left
+// conservative by disagreeing implementors.
+func (g *CallGraph) resolveCallee(info *types.Info, n *FuncNode, call *ast.CallExpr) (callee *FuncNode, iface string) {
+	obj := calleeObject(info, call)
+	// byObj resolves same-package declarations and — through the binding
+	// pass — function-typed variables, fields, and parameters with a
+	// unique static target.
+	if callee := g.byObj[obj]; callee != nil {
+		return callee, ""
+	}
+	if obj == nil || isObsCallee(obj) {
+		return nil, ""
+	}
+	if ifn, ok := ifaceMethod(obj); ok {
+		var recv types.Object
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+			recv = receiverObject(info, sel.X)
+		}
+		callee, why := g.devirt(ifn, recv)
+		if callee == nil {
+			if why != "" && n != nil {
+				n.IfaceUnresolved = appendUnique(n.IfaceUnresolved, why)
+			}
+			return nil, ""
+		}
+		return callee, ifn.FullName()
+	}
+	if _, isFunc := obj.(*types.Func); isFunc {
+		return g.externalNode(obj), ""
+	}
+	return nil, ""
+}
+
+// ResolveCall resolves a call expression to its graph node the same way
+// edge construction does — declarations, bound function values, and
+// devirtualized interface methods — for analyzers that inspect call
+// syntax directly (waitleak's spawn targets). Nil when unresolved.
+func (g *CallGraph) ResolveCall(info *types.Info, call *ast.CallExpr) *FuncNode {
+	callee, _ := g.resolveCallee(info, nil, call)
+	return callee
+}
+
+func appendUnique(list []string, s string) []string {
+	for _, have := range list {
+		if have == s {
+			return list
+		}
+	}
+	return append(list, s)
 }
 
 // isObsCallee reports whether obj names a function of an observability

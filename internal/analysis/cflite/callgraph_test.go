@@ -21,7 +21,7 @@ func buildGraph(t *testing.T, src string) *CallGraph {
 	if err != nil {
 		t.Fatalf("type-checking fixture: %v", err)
 	}
-	g := BuildCallGraph(pkg.Info, pkg.Syntax, nil)
+	g := BuildCallGraph(pkg.Info, pkg.Syntax, Externals{})
 	g.Propagate()
 	return g
 }
@@ -206,7 +206,7 @@ func buildGraphFS(t *testing.T, files map[string]string) *CallGraph {
 	if err != nil {
 		t.Fatalf("type-checking fixture: %v", err)
 	}
-	g := BuildCallGraph(pkg.Info, pkg.Syntax, nil)
+	g := BuildCallGraph(pkg.Info, pkg.Syntax, Externals{})
 	g.Propagate()
 	return g
 }

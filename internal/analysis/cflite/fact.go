@@ -47,21 +47,34 @@ func Graph(pass *framework.Pass) *CallGraph {
 		if pass.Pkg != nil {
 			own = pass.Pkg.Path()
 		}
-		ext := func(obj types.Object) (FuncFacts, bool) {
-			// Same-package objects are the graph's own nodes; never model
-			// them as external leaves (their facts are not exported until
-			// this build finishes anyway).
-			if obj.Pkg() != nil && obj.Pkg().Path() == own {
-				return FuncFacts{}, false
-			}
-			v, ok := pass.ImportedFact(obj)
-			if !ok {
-				return FuncFacts{}, false
-			}
-			f, ok := v.(FuncFacts)
-			return f, ok
+		exts := Externals{
+			Facts: func(obj types.Object) (FuncFacts, bool) {
+				// Same-package objects are the graph's own nodes; never model
+				// them as external leaves (their facts are not exported until
+				// this build finishes anyway).
+				if obj.Pkg() != nil && obj.Pkg().Path() == own {
+					return FuncFacts{}, false
+				}
+				v, ok := pass.ImportedFact(obj)
+				if !ok {
+					return FuncFacts{}, false
+				}
+				f, ok := v.(FuncFacts)
+				return f, ok
+			},
+			Impls: func(ifn *types.Func) (ImplFacts, bool) {
+				return MergedImpls(pass.Module, ifn)
+			},
+			FactsByPath: func(objPath string) (FuncFacts, bool) {
+				v, ok := pass.Module.Find(objPath)
+				if !ok {
+					return FuncFacts{}, false
+				}
+				f, ok := v.(FuncFacts)
+				return f, ok
+			},
 		}
-		g := BuildCallGraph(pass.Info, pass.Syntax, ext)
+		g := BuildCallGraph(pass.Info, pass.Syntax, exts)
 		g.Propagate()
 		for _, n := range g.Nodes {
 			if n.Decl == nil || n.Obj == nil {

@@ -1,11 +1,14 @@
-// Function-value resolution: calls through function-typed variables,
-// struct fields, and parameters resolve to a real graph edge when the
-// bound value is package-visible and unique — a single static assignment
-// of a same-package FuncDecl reference, a FuncLit, or a cross-package
-// function with exported facts. Anything else (multiple candidates, a
-// reassignment through a pointer, an exported binding another package
-// could overwrite, a function whose value escapes) falls back to the
-// conservative "outside call" treatment.
+// Function-value and interface-receiver binding resolution: calls
+// through function-typed variables, struct fields, and parameters
+// resolve to a real graph edge when the bound value is package-visible
+// and unique — a single static assignment of a same-package FuncDecl
+// reference, a FuncLit, or a cross-package function with exported facts.
+// Interface-typed bindings are tracked by the same collector: the set of
+// concrete types assigned into each binding decides how calls through
+// its methods devirtualize (see iface.go). Anything else (multiple
+// candidates, a reassignment through a pointer, an exported binding
+// another package could overwrite, a function whose value escapes) falls
+// back to the conservative "outside call" treatment.
 package cflite
 
 import (
@@ -14,33 +17,51 @@ import (
 	"go/types"
 )
 
-// bindTarget is one candidate value bound to a function-typed object.
+// bindTarget is one candidate value bound to a function- or
+// interface-typed object.
 type bindTarget struct {
-	fn  types.Object // a *types.Func (same-package or imported); nil for literals
+	fn  types.Object // a *types.Func (same-package or imported); nil otherwise
 	lit *ast.FuncLit
+	typ types.Type // the concrete type flowing into an interface binding
 }
 
-// candSet accumulates the values assigned to one object.
+// candSet accumulates the values assigned to one object. The two taint
+// kinds fail different rungs of the resolution ladder: a value taint (a
+// value the collector cannot classify — another interface, a tuple
+// assignment) only spoils unique-binding resolution, because the value
+// still originated inside the closed world and the module-wide
+// implementor set still bounds it; a visibility taint (an exported
+// binding, a foreign field, a parameter of an exported function, &obj)
+// means code outside the analysis set can supply values the run never
+// saw, so every resolution rung is off.
 type candSet struct {
-	targets []bindTarget
-	taint   bool // a non-resolvable value, tuple assignment, &obj, or visibility leak
+	targets  []bindTarget
+	taintVal bool // a value the collector could not classify
+	taintVis bool // the binding is writable from outside the package's sight
 }
+
+func (c *candSet) tainted() bool { return c.taintVal || c.taintVis }
 
 func (c *candSet) add(t bindTarget) {
-	if t.fn == nil && t.lit == nil {
-		c.taint = true
+	if t.fn == nil && t.lit == nil && t.typ == nil {
+		c.taintVal = true
 		return
 	}
 	for _, have := range c.targets {
 		if t.fn != nil && have.fn == t.fn {
 			return // the same function assigned twice is still unique
 		}
+		if t.typ != nil && have.typ != nil && types.Identical(t.typ, have.typ) {
+			return // the same concrete type assigned twice is still unique
+		}
 	}
 	c.targets = append(c.targets, t)
 }
 
 // resolveBindings finds unique static bindings and installs them in
-// g.byObj, creating synthetic nodes for bound function literals, so
+// g.byObj (function-typed: calls through the object resolve to the bound
+// function, with synthetic nodes for bound literals) and g.ifaceBind
+// (interface-typed: the one concrete type the binding can hold), so
 // observeCall resolves calls through the bound objects.
 func (g *CallGraph) resolveBindings(info *types.Info, files []*ast.File) {
 	// The analyzed package, read off any defined object: fields of
@@ -71,14 +92,16 @@ func (g *CallGraph) resolveBindings(info *types.Info, files []*ast.File) {
 			continue
 		}
 		for i := 0; i < sig.Params().Len(); i++ {
-			if set := c.cands[sig.Params().At(i)]; set != nil {
-				set.taint = true
-			}
+			c.taintVis(sig.Params().At(i))
 		}
 	}
 	for _, obj := range c.order {
 		set := c.cands[obj]
-		if set.taint || len(set.targets) != 1 {
+		if isIfaceObj(obj) {
+			g.resolveIfaceBinding(obj, set)
+			continue
+		}
+		if set.tainted() || len(set.targets) != 1 {
 			continue // ambiguous or invisible: conservative fallback
 		}
 		t := set.targets[0]
@@ -98,6 +121,16 @@ func (g *CallGraph) resolveBindings(info *types.Info, files []*ast.File) {
 			g.byObj[obj] = target
 		}
 	}
+}
+
+// isIfaceObj reports whether obj is an interface-typed variable or field.
+func isIfaceObj(obj types.Object) bool {
+	v, ok := obj.(*types.Var)
+	if !ok {
+		return false
+	}
+	_, ok = v.Type().Underlying().(*types.Interface)
+	return ok
 }
 
 // litNode returns (creating on first use) the synthetic node for a bound
@@ -126,7 +159,8 @@ func (g *CallGraph) encloses(pos token.Pos) bool {
 }
 
 // bindingCollector walks a package's syntax recording every assignment
-// of a value to a function-typed variable, field, or parameter.
+// of a value to a function- or interface-typed variable, field, or
+// parameter.
 type bindingCollector struct {
 	info    *types.Info
 	pkg     *types.Package // the package under analysis
@@ -154,6 +188,8 @@ func (c *bindingCollector) file(f *ast.File) {
 	})
 	ast.Inspect(f, func(n ast.Node) bool {
 		switch n := n.(type) {
+		case *ast.FuncDecl:
+			c.funcParams(n)
 		case *ast.ValueSpec:
 			c.valueSpec(n)
 		case *ast.AssignStmt:
@@ -162,7 +198,7 @@ func (c *bindingCollector) file(f *ast.File) {
 			c.composite(n)
 		case *ast.UnaryExpr:
 			if n.Op == token.AND {
-				c.taintObj(c.lhsObject(n.X))
+				c.taintVis(c.lhsObject(n.X))
 			}
 		case *ast.CallExpr:
 			c.callArgs(n)
@@ -175,13 +211,38 @@ func (c *bindingCollector) file(f *ast.File) {
 	})
 }
 
+// funcParams visibility-taints the interface-typed parameters of
+// functions callable from outside the package's sight: exported
+// functions (any package may pass any implementation) and methods (the
+// receiver value — and with it the call — can travel anywhere, including
+// back through an interface). Unexported plain functions' parameters
+// stay clean; callArgs records their per-site bindings.
+func (c *bindingCollector) funcParams(fd *ast.FuncDecl) {
+	if fd.Recv == nil && !fd.Name.IsExported() {
+		return
+	}
+	fn, ok := c.info.Defs[fd.Name].(*types.Func)
+	if !ok {
+		return
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		if isIfaceObj(sig.Params().At(i)) {
+			c.taintVis(sig.Params().At(i))
+		}
+	}
+}
+
 func (c *bindingCollector) valueSpec(spec *ast.ValueSpec) {
 	if len(spec.Values) == 0 {
 		return // zero value: no candidate (a later single assignment still resolves)
 	}
 	if len(spec.Values) != len(spec.Names) {
 		for _, name := range spec.Names {
-			c.taintObj(c.info.Defs[name])
+			c.taintVal(c.info.Defs[name])
 		}
 		return
 	}
@@ -193,7 +254,7 @@ func (c *bindingCollector) valueSpec(spec *ast.ValueSpec) {
 func (c *bindingCollector) assign(as *ast.AssignStmt) {
 	if len(as.Rhs) != len(as.Lhs) {
 		for _, lhs := range as.Lhs {
-			c.taintObj(c.lhsObject(lhs))
+			c.taintVal(c.lhsObject(lhs))
 		}
 		return
 	}
@@ -259,7 +320,7 @@ func (c *bindingCollector) callArgs(call *ast.CallExpr) {
 	if len(call.Args) != sig.Params().Len() {
 		// Tuple expansion f(g()): the values are invisible here.
 		for i := 0; i < sig.Params().Len(); i++ {
-			c.taintObj(sig.Params().At(i))
+			c.taintVal(sig.Params().At(i))
 		}
 		return
 	}
@@ -269,18 +330,29 @@ func (c *bindingCollector) callArgs(call *ast.CallExpr) {
 }
 
 // record adds value as a binding candidate for obj, if obj is a
-// function-typed variable, field, or parameter eligible for resolution.
+// function- or interface-typed variable, field, or parameter eligible
+// for resolution.
 func (c *bindingCollector) record(obj types.Object, value ast.Expr) {
 	set := c.set(obj)
 	if set == nil {
 		return
 	}
+	if isIfaceObj(obj) {
+		set.add(c.ifaceValue(value))
+		return
+	}
 	set.add(c.bindValue(value))
 }
 
-func (c *bindingCollector) taintObj(obj types.Object) {
+func (c *bindingCollector) taintVal(obj types.Object) {
 	if set := c.set(obj); set != nil {
-		set.taint = true
+		set.taintVal = true
+	}
+}
+
+func (c *bindingCollector) taintVis(obj types.Object) {
+	if set := c.set(obj); set != nil {
+		set.taintVis = true
 	}
 }
 
@@ -293,7 +365,9 @@ func (c *bindingCollector) set(obj types.Object) *candSet {
 	if !ok {
 		return nil
 	}
-	if _, ok := v.Type().Underlying().(*types.Signature); !ok {
+	switch v.Type().Underlying().(type) {
+	case *types.Signature, *types.Interface:
+	default:
 		return nil
 	}
 	if set, ok := c.cands[obj]; ok {
@@ -302,14 +376,14 @@ func (c *bindingCollector) set(obj types.Object) *candSet {
 	set := &candSet{}
 	switch {
 	case v.Pkg() == nil:
-		set.taint = true
+		set.taintVis = true
 	case v.IsField():
 		if v.Exported() || v.Pkg() != c.pkg {
-			set.taint = true
+			set.taintVis = true
 		}
 	case v.Parent() != nil && v.Pkg().Scope() == v.Parent():
 		if v.Exported() {
-			set.taint = true // exported package var: rebindable elsewhere
+			set.taintVis = true // exported package var: rebindable elsewhere
 		}
 	}
 	c.cands[obj] = set
@@ -317,10 +391,10 @@ func (c *bindingCollector) set(obj types.Object) *candSet {
 	return set
 }
 
-// bindValue classifies a bound value: a function literal, a direct
-// reference to a function (same-package or qualified import), or — for
-// anything else — a taint marker. Method values (x.m) are not static
-// targets: the receiver varies.
+// bindValue classifies a value bound to a function-typed object: a
+// function literal, a direct reference to a function (same-package or
+// qualified import), or — for anything else — a taint marker. Method
+// values (x.m) are not static targets: the receiver varies.
 func (c *bindingCollector) bindValue(value ast.Expr) bindTarget {
 	switch value := ast.Unparen(value).(type) {
 	case *ast.FuncLit:
@@ -338,4 +412,30 @@ func (c *bindingCollector) bindValue(value ast.Expr) bindTarget {
 		}
 	}
 	return bindTarget{}
+}
+
+// ifaceValue classifies a value bound to an interface-typed object: a
+// concrete type is a candidate; nil contributes nothing (it has no
+// methods — a call through it panics before dispatch matters); another
+// interface value or a type parameter is a taint marker (the dynamic
+// type behind it is not pinned by this binding, though the module-wide
+// implementor set still bounds it).
+func (c *bindingCollector) ifaceValue(value ast.Expr) bindTarget {
+	t := c.info.TypeOf(value)
+	if t == nil {
+		return bindTarget{}
+	}
+	if b, ok := t.(*types.Basic); ok && b.Kind() == types.UntypedNil {
+		// A recorded nil keeps the set resolvable without becoming a
+		// candidate: report it as the sentinel "same type twice" shape.
+		return bindTarget{typ: types.Typ[types.UntypedNil]}
+	}
+	switch t.Underlying().(type) {
+	case *types.Interface:
+		return bindTarget{} // dynamic type unknown: taint
+	}
+	if _, ok := t.(*types.TypeParam); ok {
+		return bindTarget{}
+	}
+	return bindTarget{typ: t}
 }

@@ -1,0 +1,606 @@
+// Interface devirtualization. The analyzers' call graphs resolve
+// x.Do(ctx) through an interface method in three rungs:
+//
+//  1. unique binding — the receiver's own candidate set (funcval.go)
+//     holds exactly one concrete type with no taints: the call edge
+//     binds to that type's method.
+//  2. module consensus — the merged, module-wide implementor set of the
+//     interface method (collected by CollectIfaceFacts before analysis
+//     and exported per package into framework.ModuleFacts) names exactly
+//     one implementor, or several whose exported facts all agree on the
+//     propagated requires/consults verdicts: the edge binds to the sole
+//     implementor, or to a synthetic consensus node carrying the agreed
+//     facts and the implementor list as provenance.
+//  3. conservative — anything else (the interface is declared outside
+//     the closed world, an interface value escaped to an exported API,
+//     implementors disagree, an implementor's facts are unknown): the
+//     call stays outside the graph and a live ctx passed through it is
+//     assumed consulted, as before. Disagreeing implementor sets are
+//     recorded on the calling function (IfaceUnresolved) and ride into
+//     its exported facts for -facts provenance.
+//
+// Collection is a whole-set pre-pass: the driver scans every package's
+// syntax for concrete-to-interface conversions (assignments, composite
+// literals, returns, call arguments, sends, map keys, append) before any
+// package is analyzed, so a package early in the dependency order still
+// sees implementations registered by later ones. Soundness rests on the
+// closed world: only interfaces declared inside the analyzed package set
+// resolve, because values of an outside interface can be constructed by
+// code the run never loads.
+package cflite
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+
+	"hpcmetrics/internal/analysis/framework"
+)
+
+// ImplFacts is the per-interface-method implementors fact one package
+// exports: the concrete methods it observed flowing into the interface.
+// The driver merges every package's export for the same method (see
+// MergedImpls). JSON-marshalable for cmd/hpclint -facts.
+type ImplFacts struct {
+	// Implementors lists the object paths of the concrete methods
+	// observed behind the interface method, sorted.
+	Implementors []string `json:"implementors,omitempty"`
+	// Open records that a value the collector cannot pin down flowed in
+	// (another interface, a type parameter): the implementor set is a
+	// subset of the truth and must not be used for devirtualization.
+	Open bool `json:"open,omitempty"`
+}
+
+// CollectIfaceFacts scans one package's syntax for concrete-to-interface
+// conversions and exports, under pkgPath, one ImplFacts per interface
+// method observed. Only methods of interfaces declared inside the
+// module store's closed world are recorded — flows into io.Writer and
+// friends are outside noise the resolution could never use.
+func CollectIfaceFacts(module *framework.ModuleFacts, pkgPath string, info *types.Info, files []*ast.File) {
+	c := &ifaceFlowCollector{module: module, info: info, impls: map[string]*implSet{}}
+	for _, f := range files {
+		c.file(f)
+	}
+	keys := make([]string, 0, len(c.impls))
+	for k := range c.impls {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		set := c.impls[k]
+		impls := make([]string, 0, len(set.impls))
+		for im := range set.impls {
+			impls = append(impls, im)
+		}
+		sort.Strings(impls)
+		module.Export(pkgPath, k, ImplFacts{Implementors: impls, Open: set.open})
+	}
+}
+
+// MergedImpls unions the implementor facts every analyzed package
+// exported for the interface method. ok is false when type-level
+// resolution is unusable: the interface is declared outside the run's
+// closed world, or no package exported anything for it.
+func MergedImpls(module *framework.ModuleFacts, ifn *types.Func) (ImplFacts, bool) {
+	if ifn.Pkg() == nil || !module.IsClosed(ifn.Pkg().Path()) {
+		return ImplFacts{}, false
+	}
+	var (
+		merged ImplFacts
+		seen   = map[string]bool{}
+		any    bool
+	)
+	for _, v := range module.All(ifn.FullName()) {
+		f, ok := v.(ImplFacts)
+		if !ok {
+			continue
+		}
+		any = true
+		merged.Open = merged.Open || f.Open
+		for _, im := range f.Implementors {
+			if !seen[im] {
+				seen[im] = true
+				merged.Implementors = append(merged.Implementors, im)
+			}
+		}
+	}
+	sort.Strings(merged.Implementors)
+	return merged, any
+}
+
+// implSet accumulates one interface method's observed implementors.
+type implSet struct {
+	impls map[string]bool
+	open  bool
+}
+
+// ifaceFlowCollector records every concrete-to-interface conversion in a
+// package's syntax.
+type ifaceFlowCollector struct {
+	module *framework.ModuleFacts
+	info   *types.Info
+	impls  map[string]*implSet
+}
+
+func (c *ifaceFlowCollector) file(f *ast.File) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncDecl:
+			c.returns(n.Type, n.Body)
+		case *ast.FuncLit:
+			c.returns(n.Type, n.Body)
+		case *ast.ValueSpec:
+			c.valueSpec(n)
+		case *ast.AssignStmt:
+			c.assign(n)
+		case *ast.CompositeLit:
+			c.composite(n)
+		case *ast.CallExpr:
+			c.call(n)
+		case *ast.SendStmt:
+			if ch, ok := c.info.TypeOf(n.Chan).Underlying().(*types.Chan); ok {
+				c.flow(ch.Elem(), c.info.TypeOf(n.Value))
+			}
+		case *ast.IndexExpr:
+			// Map access with an interface-typed key converts the index
+			// expression; the key value is then reachable via iteration.
+			if mt, ok := c.info.TypeOf(n.X).Underlying().(*types.Map); ok {
+				c.flow(mt.Key(), c.info.TypeOf(n.Index))
+			}
+		}
+		return true
+	})
+}
+
+// returns registers flows from each return statement of body into ft's
+// interface-typed results. Nested function literals are walked when the
+// outer Inspect reaches them; here they are skipped so a literal's
+// returns are matched against its own result list, not the enclosing
+// function's.
+func (c *ifaceFlowCollector) returns(ft *ast.FuncType, body *ast.BlockStmt) {
+	if ft == nil || ft.Results == nil || body == nil {
+		return
+	}
+	var results []types.Type
+	for _, field := range ft.Results.List {
+		t := c.info.TypeOf(field.Type)
+		n := len(field.Names)
+		if n == 0 {
+			n = 1
+		}
+		for i := 0; i < n; i++ {
+			results = append(results, t)
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok {
+			return true
+		}
+		switch {
+		case len(ret.Results) == len(results):
+			for i, res := range ret.Results {
+				c.flow(results[i], c.info.TypeOf(res))
+			}
+		case len(ret.Results) == 1:
+			// return f(): the call's result tuple feeds the result list.
+			if tup, ok := c.info.TypeOf(ret.Results[0]).(*types.Tuple); ok && tup.Len() == len(results) {
+				for i := range results {
+					c.flow(results[i], tup.At(i).Type())
+				}
+			}
+		}
+		return true
+	})
+}
+
+func (c *ifaceFlowCollector) valueSpec(spec *ast.ValueSpec) {
+	switch {
+	case len(spec.Values) == len(spec.Names):
+		for i, name := range spec.Names {
+			if obj := c.info.Defs[name]; obj != nil {
+				c.flow(obj.Type(), c.info.TypeOf(spec.Values[i]))
+			}
+		}
+	case len(spec.Values) == 1:
+		if tup, ok := c.info.TypeOf(spec.Values[0]).(*types.Tuple); ok && tup.Len() == len(spec.Names) {
+			for i, name := range spec.Names {
+				if obj := c.info.Defs[name]; obj != nil {
+					c.flow(obj.Type(), tup.At(i).Type())
+				}
+			}
+		}
+	}
+}
+
+func (c *ifaceFlowCollector) assign(as *ast.AssignStmt) {
+	switch {
+	case len(as.Rhs) == len(as.Lhs):
+		for i, lhs := range as.Lhs {
+			c.flow(c.info.TypeOf(lhs), c.info.TypeOf(as.Rhs[i]))
+		}
+	case len(as.Rhs) == 1:
+		if tup, ok := c.info.TypeOf(as.Rhs[0]).(*types.Tuple); ok && tup.Len() == len(as.Lhs) {
+			for i, lhs := range as.Lhs {
+				c.flow(c.info.TypeOf(lhs), tup.At(i).Type())
+			}
+		}
+	}
+}
+
+func (c *ifaceFlowCollector) composite(lit *ast.CompositeLit) {
+	t := c.info.TypeOf(lit)
+	if t == nil {
+		return
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		for i, elt := range lit.Elts {
+			if kv, ok := elt.(*ast.KeyValueExpr); ok {
+				if key, ok := kv.Key.(*ast.Ident); ok {
+					if obj := c.info.Uses[key]; obj != nil {
+						c.flow(obj.Type(), c.info.TypeOf(kv.Value))
+					}
+				}
+				continue
+			}
+			if i < u.NumFields() {
+				c.flow(u.Field(i).Type(), c.info.TypeOf(elt))
+			}
+		}
+	case *types.Slice:
+		c.elements(u.Elem(), lit)
+	case *types.Array:
+		c.elements(u.Elem(), lit)
+	case *types.Map:
+		for _, elt := range lit.Elts {
+			if kv, ok := elt.(*ast.KeyValueExpr); ok {
+				c.flow(u.Key(), c.info.TypeOf(kv.Key))
+				c.flow(u.Elem(), c.info.TypeOf(kv.Value))
+			}
+		}
+	}
+}
+
+func (c *ifaceFlowCollector) elements(elem types.Type, lit *ast.CompositeLit) {
+	for _, elt := range lit.Elts {
+		if kv, ok := elt.(*ast.KeyValueExpr); ok {
+			elt = kv.Value
+		}
+		c.flow(elem, c.info.TypeOf(elt))
+	}
+}
+
+func (c *ifaceFlowCollector) call(call *ast.CallExpr) {
+	// Conversion I(x): the target type is the destination.
+	if tv, ok := c.info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		c.flow(tv.Type, c.info.TypeOf(call.Args[0]))
+		return
+	}
+	// Builtin append(s, v...): values flow into s's element type.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := c.info.Uses[id].(*types.Builtin); ok {
+			if b.Name() == "append" && len(call.Args) > 1 && call.Ellipsis == 0 {
+				if sl, ok := c.info.TypeOf(call.Args[0]).Underlying().(*types.Slice); ok {
+					for _, arg := range call.Args[1:] {
+						c.flow(sl.Elem(), c.info.TypeOf(arg))
+					}
+				}
+			}
+			return
+		}
+	}
+	sig, ok := c.info.TypeOf(call.Fun).Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	for i, arg := range call.Args {
+		var dst types.Type
+		switch {
+		case sig.Variadic() && i >= sig.Params().Len()-1:
+			if call.Ellipsis != 0 {
+				continue // s... passes a slice whole; its elements flowed at construction
+			}
+			sl, ok := sig.Params().At(sig.Params().Len() - 1).Type().(*types.Slice)
+			if !ok {
+				continue
+			}
+			dst = sl.Elem()
+		case i < sig.Params().Len():
+			dst = sig.Params().At(i).Type()
+		default:
+			continue
+		}
+		c.flow(dst, c.info.TypeOf(arg))
+	}
+}
+
+// flow registers one conversion: a value of type src reaching a slot of
+// type dst. Only interface destinations with methods matter; interface
+// or type-parameter sources open the set (the dynamic type behind them
+// is not pinned here).
+func (c *ifaceFlowCollector) flow(dst, src types.Type) {
+	if dst == nil || src == nil {
+		return
+	}
+	iface, ok := dst.Underlying().(*types.Interface)
+	if !ok || iface.NumMethods() == 0 {
+		return
+	}
+	if types.Identical(dst, src) {
+		return // no conversion: same interface handed along
+	}
+	if b, ok := src.(*types.Basic); ok && b.Kind() == types.UntypedNil {
+		return // nil has no methods: dispatch never reaches an implementor
+	}
+	srcOpen := false
+	if _, ok := src.Underlying().(*types.Interface); ok {
+		srcOpen = true
+	}
+	if _, ok := src.(*types.TypeParam); ok {
+		srcOpen = true
+	}
+	var ms *types.MethodSet
+	if !srcOpen {
+		ms = types.NewMethodSet(src)
+	}
+	for i := 0; i < iface.NumMethods(); i++ {
+		m := iface.Method(i)
+		if m.Pkg() == nil || !c.module.IsClosed(m.Pkg().Path()) {
+			continue // outside the closed world: resolution could never use it
+		}
+		set := c.impls[m.FullName()]
+		if set == nil {
+			set = &implSet{impls: map[string]bool{}}
+			c.impls[m.FullName()] = set
+		}
+		if srcOpen {
+			set.open = true
+			continue
+		}
+		sel := ms.Lookup(m.Pkg(), m.Name())
+		if sel == nil {
+			set.open = true // cannot name the implementing method: stay honest
+			continue
+		}
+		if fn, ok := sel.Obj().(*types.Func); ok {
+			set.impls[fn.FullName()] = true
+		} else {
+			set.open = true
+		}
+	}
+}
+
+// --- graph-side resolution ---
+
+// ifaceBinding is the resolution-relevant summary of one interface-typed
+// receiver binding.
+type ifaceBinding struct {
+	typ types.Type // the unique concrete type, when rung 1 applies
+	vis bool       // visibility-tainted: every rung is off
+}
+
+// resolveIfaceBinding summarizes one interface-typed object's candidate
+// set for receiver resolution (called from resolveBindings).
+func (g *CallGraph) resolveIfaceBinding(obj types.Object, set *candSet) {
+	if g.ifaceBind == nil {
+		g.ifaceBind = map[types.Object]ifaceBinding{}
+	}
+	b := ifaceBinding{vis: set.taintVis}
+	if !set.tainted() {
+		var concrete []types.Type
+		for _, t := range set.targets {
+			if t.typ == nil {
+				continue
+			}
+			if b, ok := t.typ.(*types.Basic); ok && b.Kind() == types.UntypedNil {
+				continue // recorded nils don't count as candidates
+			}
+			concrete = append(concrete, t.typ)
+		}
+		if len(concrete) == 1 {
+			b.typ = concrete[0]
+		}
+	}
+	g.ifaceBind[obj] = b
+}
+
+// ifaceMethod reports whether obj is a method declared on an interface
+// type, returning it as a *types.Func.
+func ifaceMethod(obj types.Object) (*types.Func, bool) {
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return nil, false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil, false
+	}
+	if types.IsInterface(sig.Recv().Type()) {
+		return fn, true
+	}
+	return nil, false
+}
+
+// devirt resolves an interface-method call to a graph node via the
+// unique/consensus ladder, or nil for the conservative fallback. recv is
+// the receiver expression's object, when the receiver is a trackable
+// variable or field; reason, on a nil return caused by disagreeing
+// implementors, names the set for provenance.
+func (g *CallGraph) devirt(ifn *types.Func, recv types.Object) (node *FuncNode, reason string) {
+	if recv != nil {
+		if b, ok := g.ifaceBind[recv]; ok {
+			if b.vis {
+				return nil, "" // escaped binding: outside code can supply implementations
+			}
+			if b.typ != nil {
+				if m := concreteMethod(b.typ, ifn); m != nil {
+					return g.nodeForMethod(m), ""
+				}
+				return nil, ""
+			}
+		}
+	}
+	if g.exts.Impls == nil {
+		return nil, ""
+	}
+	impls, ok := g.exts.Impls(ifn)
+	if !ok || impls.Open || len(impls.Implementors) == 0 {
+		return nil, ""
+	}
+	if len(impls.Implementors) == 1 {
+		return g.nodeForPath(impls.Implementors[0], ifn), ""
+	}
+	return g.consensusNode(ifn, impls.Implementors)
+}
+
+// concreteMethod finds the method of concrete type t implementing the
+// interface method ifn, through t's method set.
+func concreteMethod(t types.Type, ifn *types.Func) *types.Func {
+	sel := types.NewMethodSet(t).Lookup(ifn.Pkg(), ifn.Name())
+	if sel == nil {
+		return nil
+	}
+	fn, _ := sel.Obj().(*types.Func)
+	return fn
+}
+
+// nodeForMethod resolves a concrete method object to its graph node: the
+// package's own declaration, or an external leaf built from exported
+// facts. The obs carve-out applies as for any other callee.
+func (g *CallGraph) nodeForMethod(fn *types.Func) *FuncNode {
+	if n := g.byObj[fn]; n != nil {
+		return n
+	}
+	if isObsCallee(fn) {
+		return nil
+	}
+	return g.externalNode(fn)
+}
+
+// nodeForPath resolves a concrete method known only by object path (a
+// merged implementor record): the package's own declaration by name, or
+// an external leaf from the module store's exported facts. ifn supplies
+// the signature (identical to the implementor's, modulo receiver) for
+// the leaf's ctx-parameter list.
+func (g *CallGraph) nodeForPath(objPath string, ifn *types.Func) *FuncNode {
+	if n := g.byName[objPath]; n != nil {
+		return n
+	}
+	if n, ok := g.extByPath[objPath]; ok {
+		return n
+	}
+	var node *FuncNode
+	if g.exts.FactsByPath != nil {
+		if f, ok := g.exts.FactsByPath(objPath); ok {
+			node = &FuncNode{
+				External:  true,
+				BindName:  objPath,
+				CtxParams: sigCtxParams(ifn),
+				Spawns:    f.Spawns,
+				Unbounded: f.Unbounded,
+				Requires:  f.Requires,
+				Consults:  f.Consults,
+				FactVia:   f.Via,
+			}
+		}
+	}
+	g.extByPath[objPath] = node // negative results cached too
+	return node
+}
+
+// consensusNode returns (creating on first use) the synthetic node
+// standing for "every implementor of ifn", usable only when every
+// implementor's facts are known and agree on the propagated verdicts.
+// reason, on a nil return, names the disagreeing set for provenance.
+func (g *CallGraph) consensusNode(ifn *types.Func, impls []string) (node *FuncNode, reason string) {
+	if n, ok := g.consensus[ifn]; ok {
+		return n, g.consensusWhy[ifn]
+	}
+	agreed := FuncFacts{}
+	for i, objPath := range impls {
+		var f FuncFacts
+		known := false
+		if n := g.byName[objPath]; n != nil {
+			// Own-package implementor: its direct observations are in, but
+			// Propagate has not run yet; fold its node into the fixed point
+			// by edge instead of a frozen fact. Simplest sound call: treat
+			// own-package implementors as unknown here — the unique rungs
+			// already cover the common case.
+			known = false
+		} else if g.exts.FactsByPath != nil {
+			f, known = g.exts.FactsByPath(objPath)
+		}
+		if !known {
+			g.consensus[ifn] = nil
+			g.consensusWhy[ifn] = ""
+			return nil, ""
+		}
+		got := FuncFacts{Requires: f.Requires, Consults: f.Consults}
+		if i == 0 {
+			agreed = got
+			continue
+		}
+		if got != agreed {
+			why := "implementors of " + ifn.FullName() + " disagree: " + joinPaths(impls)
+			g.consensus[ifn] = nil
+			g.consensusWhy[ifn] = why
+			return nil, why
+		}
+	}
+	n := &FuncNode{
+		External:     true,
+		Obj:          ifn,
+		CtxParams:    sigCtxParams(ifn),
+		Requires:     agreed.Requires,
+		Consults:     agreed.Consults,
+		Implementors: append([]string(nil), impls...),
+	}
+	g.consensus[ifn] = n
+	g.consensusWhy[ifn] = ""
+	return n, ""
+}
+
+func joinPaths(paths []string) string {
+	out := ""
+	for i, p := range paths {
+		if i > 0 {
+			out += ", "
+		}
+		out += p
+	}
+	return out
+}
+
+// DevirtDescription renders a call site's interface-dispatch resolution
+// for diagnostics: "(pkg.Doer).Do → (*pkg.Spawner).Do" for a devirtualized
+// unique target, "(pkg.Doer).Do agreed by (*pkg.A).Do, (*pkg.B).Do" for an
+// all-agree consensus edge, empty for direct calls.
+func DevirtDescription(cs CallSite) string {
+	if cs.Iface == "" || cs.Callee == nil {
+		return ""
+	}
+	if len(cs.Callee.Implementors) > 0 {
+		return cs.Iface + " agreed by " + joinPaths(cs.Callee.Implementors)
+	}
+	return cs.Iface + " → " + cs.Callee.FullName()
+}
+
+// receiverObject resolves a method call's receiver expression to the
+// variable or field object it reads, or nil for untracked receivers
+// (call results, indexing).
+func receiverObject(info *types.Info, recv ast.Expr) types.Object {
+	switch recv := ast.Unparen(recv).(type) {
+	case *ast.Ident:
+		return info.Uses[recv]
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[recv]; ok && sel.Kind() == types.FieldVal {
+			return sel.Obj()
+		}
+		return info.Uses[recv.Sel]
+	}
+	return nil
+}

@@ -1,0 +1,257 @@
+package cflite
+
+import (
+	"go/types"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"hpcmetrics/internal/analysis/framework"
+	"hpcmetrics/internal/analysis/load"
+)
+
+// loadSrc type-checks one source file as package p.
+func loadSrc(t *testing.T, src string) *load.Package {
+	t.Helper()
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "p.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := load.New().LoadAs(dir, "p")
+	if err != nil {
+		t.Fatalf("type-checking fixture: %v", err)
+	}
+	return pkg
+}
+
+func buildGraphExts(t *testing.T, src string, exts Externals) *CallGraph {
+	t.Helper()
+	pkg := loadSrc(t, src)
+	g := BuildCallGraph(pkg.Info, pkg.Syntax, exts)
+	g.Propagate()
+	return g
+}
+
+// ifaceCall returns the first devirtualized call site of the named node.
+func ifaceCall(t *testing.T, g *CallGraph, name string) CallSite {
+	t.Helper()
+	for _, cs := range node(t, g, name).Calls {
+		if cs.Iface != "" {
+			return cs
+		}
+	}
+	t.Fatalf("%s has no devirtualized call site", name)
+	return CallSite{}
+}
+
+const uniqueBindingSrc = `package p
+
+import "context"
+
+type Doer interface {
+	Do(ctx context.Context)
+}
+
+type S struct{}
+
+func (s *S) Do(ctx context.Context) {
+	go func() { <-ctx.Done() }()
+}
+
+func caller(ctx context.Context) {
+	var d Doer = &S{}
+	d.Do(ctx)
+}
+`
+
+func TestIfaceUniqueBinding(t *testing.T) {
+	g := buildGraphExts(t, uniqueBindingSrc, Externals{})
+	cs := ifaceCall(t, g, "caller")
+	if cs.Iface != "(p.Doer).Do" {
+		t.Errorf("Iface = %q, want (p.Doer).Do", cs.Iface)
+	}
+	if got := cs.Callee.FullName(); got != "(*p.S).Do" {
+		t.Errorf("devirtualized callee = %q, want (*p.S).Do", got)
+	}
+	if want := "(p.Doer).Do → (*p.S).Do"; DevirtDescription(cs) != want {
+		t.Errorf("DevirtDescription = %q, want %q", DevirtDescription(cs), want)
+	}
+	if !node(t, g, "caller").Requires {
+		t.Error("caller.Requires = false: the spawn fact did not cross the devirtualized edge")
+	}
+}
+
+const soleImplementorSrc = `package p
+
+import "context"
+
+type Doer interface {
+	Do(ctx context.Context)
+}
+
+type S struct{}
+
+func (s *S) Do(ctx context.Context) {
+	go func() { <-ctx.Done() }()
+}
+
+func mk() Doer { return &S{} }
+
+func caller(ctx context.Context, d Doer) {
+	d.Do(ctx)
+}
+`
+
+// TestIfaceSoleImplementor resolves through the module-merged implementor
+// fact: the receiver binding pins nothing (an unexported function's
+// parameter), but the closed world contains exactly one implementation.
+func TestIfaceSoleImplementor(t *testing.T) {
+	pkg := loadSrc(t, soleImplementorSrc)
+	module := framework.NewModuleFacts()
+	module.SetClosed([]string{"p"})
+	CollectIfaceFacts(module, "p", pkg.Info, pkg.Syntax)
+	g := BuildCallGraph(pkg.Info, pkg.Syntax, Externals{
+		Impls: func(ifn *types.Func) (ImplFacts, bool) { return MergedImpls(module, ifn) },
+	})
+	g.Propagate()
+	cs := ifaceCall(t, g, "caller")
+	if got := cs.Callee.FullName(); got != "(*p.S).Do" {
+		t.Errorf("devirtualized callee = %q, want (*p.S).Do", got)
+	}
+	if !node(t, g, "caller").Requires {
+		t.Error("caller.Requires = false: the sole-implementor fact did not propagate")
+	}
+}
+
+const openSetSrc = `package p
+
+import "context"
+
+type Doer interface {
+	Do(ctx context.Context)
+}
+
+type Other interface {
+	Do(ctx context.Context)
+}
+
+type S struct{}
+
+func (s *S) Do(ctx context.Context) {
+	go func() { <-ctx.Done() }()
+}
+
+func mk() Doer { return &S{} }
+
+func launder(o Other) Doer { return o }
+
+func caller(ctx context.Context, d Doer) {
+	d.Do(ctx)
+}
+`
+
+// TestIfaceOpenSet: an interface-to-interface flow opens the implementor
+// set, so even a sole collected implementor must stay unresolved.
+func TestIfaceOpenSet(t *testing.T) {
+	pkg := loadSrc(t, openSetSrc)
+	module := framework.NewModuleFacts()
+	module.SetClosed([]string{"p"})
+	CollectIfaceFacts(module, "p", pkg.Info, pkg.Syntax)
+	impls, ok := MergedImpls(module, ifaceMethodOf(t, pkg.Types, "Doer"))
+	if !ok {
+		t.Fatal("MergedImpls: no fact collected for (p.Doer).Do")
+	}
+	if !impls.Open {
+		t.Error("Open = false, want true: another interface flowed into Doer")
+	}
+	g := BuildCallGraph(pkg.Info, pkg.Syntax, Externals{
+		Impls: func(ifn *types.Func) (ImplFacts, bool) { return MergedImpls(module, ifn) },
+	})
+	g.Propagate()
+	for _, cs := range node(t, g, "caller").Calls {
+		if cs.Iface != "" {
+			t.Errorf("open implementor set resolved anyway: %s", DevirtDescription(cs))
+		}
+	}
+}
+
+const paramCallSrc = `package p
+
+import "context"
+
+type Doer interface {
+	Do(ctx context.Context)
+}
+
+func caller(ctx context.Context, d Doer) {
+	d.Do(ctx)
+}
+`
+
+// TestIfaceConsensus: two implementors known only by path (as merged
+// cross-package facts would supply) whose facts agree produce a synthetic
+// consensus edge carrying the shared verdict and the implementor list.
+func TestIfaceConsensus(t *testing.T) {
+	facts := map[string]FuncFacts{
+		"(*q.A).Do": {Requires: true, Consults: true},
+		"(*q.B).Do": {Requires: true, Consults: true},
+	}
+	g := buildGraphExts(t, paramCallSrc, Externals{
+		Impls: func(ifn *types.Func) (ImplFacts, bool) {
+			return ImplFacts{Implementors: []string{"(*q.A).Do", "(*q.B).Do"}}, true
+		},
+		FactsByPath: func(p string) (FuncFacts, bool) { f, ok := facts[p]; return f, ok },
+	})
+	cs := ifaceCall(t, g, "caller")
+	if len(cs.Callee.Implementors) != 2 {
+		t.Fatalf("consensus node lists %d implementors, want 2", len(cs.Callee.Implementors))
+	}
+	if want := "(p.Doer).Do agreed by (*q.A).Do, (*q.B).Do"; DevirtDescription(cs) != want {
+		t.Errorf("DevirtDescription = %q, want %q", DevirtDescription(cs), want)
+	}
+	if !node(t, g, "caller").Requires {
+		t.Error("caller.Requires = false: the agreed fact did not propagate")
+	}
+}
+
+// TestIfaceDisagree: implementors with conflicting facts stay
+// conservative, and the disagreeing set is recorded as provenance on the
+// calling function.
+func TestIfaceDisagree(t *testing.T) {
+	facts := map[string]FuncFacts{
+		"(*q.A).Do": {Requires: true, Consults: true},
+		"(*q.B).Do": {Consults: true},
+	}
+	g := buildGraphExts(t, paramCallSrc, Externals{
+		Impls: func(ifn *types.Func) (ImplFacts, bool) {
+			return ImplFacts{Implementors: []string{"(*q.A).Do", "(*q.B).Do"}}, true
+		},
+		FactsByPath: func(p string) (FuncFacts, bool) { f, ok := facts[p]; return f, ok },
+	})
+	caller := node(t, g, "caller")
+	for _, cs := range caller.Calls {
+		if cs.Iface != "" {
+			t.Errorf("disagreeing implementors resolved anyway: %s", DevirtDescription(cs))
+		}
+	}
+	if len(caller.IfaceUnresolved) != 1 ||
+		!strings.Contains(caller.IfaceUnresolved[0], "implementors of (p.Doer).Do disagree") {
+		t.Errorf("IfaceUnresolved = %v, want one entry naming the disagreeing set", caller.IfaceUnresolved)
+	}
+}
+
+// ifaceMethodOf digs the sole method of the named interface type out of
+// the package scope.
+func ifaceMethodOf(t *testing.T, pkg *types.Package, name string) *types.Func {
+	t.Helper()
+	obj := pkg.Scope().Lookup(name)
+	if obj == nil {
+		t.Fatalf("no type %s in package %s", name, pkg.Path())
+	}
+	iface, ok := obj.Type().Underlying().(*types.Interface)
+	if !ok || iface.NumMethods() == 0 {
+		t.Fatalf("%s is not a non-empty interface", name)
+	}
+	return iface.Method(0)
+}

@@ -14,8 +14,12 @@
 // calls against them, so a Background sever or a dropped ctx is flagged
 // even when the requiring body lives two packages away. Calls through
 // function-typed variables, fields, and parameters resolve when the
-// bound value is a unique static assignment; ambiguous bindings stay
-// conservative. Five rules:
+// bound value is a unique static assignment; interface-method calls
+// devirtualize through cflite's unique/agree/conservative ladder (a
+// receiver binding with one concrete type, a module-wide sole
+// implementor, or agreeing implementor facts), with the resolved
+// dispatch recorded in the diagnostic's devirt provenance; ambiguous
+// bindings stay conservative. Five rules:
 //
 //  1. A function that directly spawns a goroutine or contains an
 //     unbounded loop (`for {}` / `for cond {}`) must accept a
@@ -140,11 +144,18 @@ func checkCallSites(pass *framework.Pass, node *cflite.FuncNode) {
 }
 
 // report emits a call-site diagnostic, attaching fact provenance when
-// the finding rests on another package's exported facts.
+// the finding rests on another package's exported facts and devirt
+// provenance when the call edge was resolved through an interface
+// method.
 func report(pass *framework.Pass, cs cflite.CallSite, format string, args ...any) {
+	devirt := cflite.DevirtDescription(cs)
 	if cs.Callee.External {
 		prov := cs.Callee.FullName() + ": " + describeRequirement(cs.Callee)
-		pass.ReportfProvenance(cs.Call.Pos(), prov, format, args...)
+		pass.ReportfVia(cs.Call.Pos(), prov, devirt, format, args...)
+		return
+	}
+	if devirt != "" {
+		pass.ReportfVia(cs.Call.Pos(), "", devirt, format, args...)
 		return
 	}
 	pass.Reportf(cs.Call.Pos(), format, args...)
@@ -159,6 +170,8 @@ func describeRequirement(n *cflite.FuncNode) string {
 		return "spawns a goroutine"
 	case n.Unbounded:
 		return "contains an unbounded loop"
+	case len(n.Implementors) > 0:
+		return "requires a context (every implementor agrees)"
 	case n.RequiresVia != nil:
 		return "requires a context via " + n.RequiresVia.Name()
 	case n.FactVia != "":

@@ -16,3 +16,14 @@ func TestCtxflow(t *testing.T) {
 		"internal/study", "internal/simexec", "pipeline",
 		"crosspkg/b", "crosspkg/a", "funcfield")
 }
+
+func TestCtxflowInterfaceDispatch(t *testing.T) {
+	// Implementor packages precede the callers, as the module driver's
+	// topological order would place them; the listed set is the closed
+	// world the devirtualization ladder resolves against.
+	analysistest.Run(t, "testdata", ctxflow.Analyzer,
+		"devirt/impl", "devirt/unique",
+		"devirt/agree/defs", "devirt/agree",
+		"devirt/split/defs", "devirt/split",
+		"devirt/escape")
+}

@@ -1,0 +1,20 @@
+// All-agree devirtualization: the receiver holds two possible concrete
+// types, so unique-binding resolution is off — but every implementor of
+// defs.Doer agrees it requires a context, so the fact still propagates
+// through the consensus edge.
+package agree
+
+import (
+	"context"
+
+	"devirt/agree/defs"
+)
+
+func run(ctx context.Context, which bool) {
+	var d defs.Doer = &defs.A{}
+	if which {
+		d = &defs.B{}
+	}
+	d.Do(context.Background()) // want `run passes a fresh context.Background\(\)/context.TODO\(\) to defs.Do, which requires a context \(every implementor agrees\)`
+	<-ctx.Done()
+}

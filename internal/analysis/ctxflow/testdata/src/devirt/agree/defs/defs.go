@@ -1,0 +1,29 @@
+// Package defs declares an interface with two implementors whose
+// propagated facts agree: both spawn and consult. Calls through the
+// interface may propagate the shared verdict (the all-agree rung).
+package defs
+
+import "context"
+
+// Doer has two implementors, A and B.
+type Doer interface {
+	Do(ctx context.Context)
+}
+
+// A spawns and consults.
+type A struct{}
+
+func (a *A) Do(ctx context.Context) {
+	go func() {
+		<-ctx.Done()
+	}()
+}
+
+// B also spawns and consults: its facts agree with A's.
+type B struct{}
+
+func (b *B) Do(ctx context.Context) {
+	go func() {
+		<-ctx.Done()
+	}()
+}

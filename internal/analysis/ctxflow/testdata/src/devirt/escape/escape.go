@@ -1,0 +1,28 @@
+// An interface value escaping to an exported API stays conservative:
+// module-wide, impl.Spawner is the only implementor that flows into
+// Doer, but Run is exported — a package outside the analyzed set could
+// hand it any implementation — so the Background sever below must NOT
+// be flagged.
+package escape
+
+import (
+	"context"
+
+	"devirt/impl"
+)
+
+// Doer is implemented by impl.Spawner alone inside the closed world.
+type Doer interface {
+	Do(ctx context.Context)
+}
+
+// Run is exported: its parameter's implementor set is open.
+func Run(ctx context.Context, d Doer) {
+	d.Do(context.Background())
+	<-ctx.Done()
+}
+
+func local(ctx context.Context) {
+	Run(ctx, &impl.Spawner{})
+	<-ctx.Done()
+}

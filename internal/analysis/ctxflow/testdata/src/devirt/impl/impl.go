@@ -1,0 +1,17 @@
+// Package impl provides the concrete implementor behind the
+// interface-dispatch fixtures: Do spawns, so it (directly) requires a
+// context — the fact that must survive devirtualization.
+package impl
+
+import "context"
+
+// Spawner is the sole implementor in the unique-resolution fixtures.
+type Spawner struct{}
+
+// Do spawns a goroutine and consults its ctx: clean on its own, but a
+// caller that severs cancellation before the call must be flagged.
+func (s *Spawner) Do(ctx context.Context) {
+	go func() {
+		<-ctx.Done()
+	}()
+}

@@ -1,0 +1,27 @@
+// Package defs declares an interface whose two implementors disagree:
+// A spawns (requires a context), B merely consults. No verdict may
+// propagate through the interface.
+package defs
+
+import "context"
+
+// Doer has two disagreeing implementors.
+type Doer interface {
+	Do(ctx context.Context)
+}
+
+// A spawns: it requires a context.
+type A struct{}
+
+func (a *A) Do(ctx context.Context) {
+	go func() {
+		<-ctx.Done()
+	}()
+}
+
+// B only consults: it does not require one.
+type B struct{}
+
+func (b *B) Do(ctx context.Context) {
+	<-ctx.Done()
+}

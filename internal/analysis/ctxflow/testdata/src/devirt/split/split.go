@@ -1,0 +1,21 @@
+// Disagreeing implementors stay conservative: A requires a context and B
+// does not, so the Background sever below must NOT be flagged (the
+// disagreeing set is recorded as provenance on the calling function, not
+// as a diagnostic). No "want" expectations in this file — analysistest
+// fails on any unexpected diagnostic, so the absence is what is tested.
+package split
+
+import (
+	"context"
+
+	"devirt/split/defs"
+)
+
+func run(ctx context.Context, which bool) {
+	var d defs.Doer = &defs.A{}
+	if which {
+		d = &defs.B{}
+	}
+	d.Do(context.Background())
+	<-ctx.Done()
+}

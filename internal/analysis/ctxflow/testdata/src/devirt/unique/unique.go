@@ -1,0 +1,22 @@
+// Unique-binding devirtualization: the receiver is a local with exactly
+// one concrete type bound, so x.Do resolves to (*impl.Spawner).Do and
+// the cross-package requires fact reaches the call site.
+package unique
+
+import (
+	"context"
+
+	"devirt/impl"
+)
+
+// Doer is the dispatch interface; impl.Spawner is the only type that
+// ever flows into it here.
+type Doer interface {
+	Do(ctx context.Context)
+}
+
+func run(ctx context.Context) {
+	var d Doer = &impl.Spawner{}
+	d.Do(context.Background()) // want `run passes a fresh context.Background\(\)/context.TODO\(\) to impl.Do, which spawns a goroutine`
+	<-ctx.Done()
+}

@@ -1,0 +1,266 @@
+// Package deadlinecheck enforces deadline discipline on the call chains
+// the coming predictd serving layer will run hot: once a caller is under
+// a deadline, work it fans out must stay under that deadline.
+//
+// Two rules, on top of the cflite call graph (including edges resolved
+// through interface devirtualization):
+//
+//  1. A function that takes a context.Context and (transitively) spawns
+//     goroutines or loops unboundedly must not invoke a ctx-requiring
+//     callee with a context that has provably had its deadline stripped:
+//     a context.WithoutCancel result, or a context.Background()/TODO()
+//     root rewrapped through WithValue/WithCancel. WithTimeout and
+//     WithDeadline re-establish a deadline and stop the taint. (A bare
+//     context.Background() argument is ctxflow rule 3's finding and is
+//     not re-flagged here.)
+//  2. An HTTP-handler-shaped function — func(w http.ResponseWriter,
+//     r *http.Request) — must derive its work contexts from r.Context():
+//     minting context.Background()/TODO() inside a handler detaches the
+//     work from the client's disconnect and the server's shutdown.
+//
+// "Provably" is per-function and syntactic: an argument is stripped when
+// the expression itself is a stripping call, or when it names a local
+// variable assigned exactly once, from a stripping call, and never
+// reassigned. Anything flowing in from parameters, fields, or multiple
+// assignments is assumed fine — the check has no false positives by
+// construction, at the cost of missing laundered roots.
+package deadlinecheck
+
+import (
+	"go/ast"
+	"go/types"
+
+	"hpcmetrics/internal/analysis/cflite"
+	"hpcmetrics/internal/analysis/framework"
+)
+
+// Analyzer is the deadlinecheck check.
+var Analyzer = &framework.Analyzer{
+	Name: "deadlinecheck",
+	Doc: "flags ctx-taking spawners that hand a provably deadline-stripped context " +
+		"(context.WithoutCancel, rewrapped context.Background()) to ctx-requiring callees, " +
+		"and HTTP handlers that mint root contexts instead of deriving from r.Context()",
+	Run: run,
+}
+
+func run(pass *framework.Pass) error {
+	graph := cflite.Graph(pass)
+	for _, n := range graph.Nodes {
+		if n.Body() == nil || n.Enclosed {
+			continue
+		}
+		if isHandlerShape(pass, n) {
+			checkHandler(pass, n)
+		}
+		checkStrippedCalls(pass, n)
+	}
+	return nil
+}
+
+// checkStrippedCalls applies rule 1 to one function.
+func checkStrippedCalls(pass *framework.Pass, n *cflite.FuncNode) {
+	if !n.Requires || len(n.CtxParams) == 0 {
+		return // not under a caller's deadline, or nothing unbounded below
+	}
+	defs := singleDefs(pass, n.Body())
+	for _, cs := range n.Calls {
+		if !cs.Callee.Requires || cs.CtxArg == cflite.CtxArgBackground {
+			continue // bare Background() args are ctxflow rule 3's finding
+		}
+		for _, arg := range cs.Call.Args {
+			if !cflite.IsContext(pass.Info.TypeOf(arg)) {
+				continue
+			}
+			root, stripped := strippedCtx(pass, defs, arg, 0)
+			if !stripped {
+				continue
+			}
+			devirt := cflite.DevirtDescription(cs)
+			pass.ReportfVia(cs.Call.Pos(), "", devirt,
+				"%s passes a deadline-stripped context (%s) to %s, which requires cancellation; derive the context from the incoming ctx or re-arm a deadline with context.WithTimeout",
+				n.Name(), root, cs.Callee.Name())
+			break
+		}
+	}
+}
+
+// checkHandler applies rule 2: flag every root-context mint in an
+// HTTP-handler-shaped body.
+func checkHandler(pass *framework.Pass, n *cflite.FuncNode) {
+	ast.Inspect(n.Body(), func(node ast.Node) bool {
+		call, ok := node.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if name, ok := contextCall(pass, call); ok && (name == "Background" || name == "TODO") {
+			pass.Reportf(call.Pos(),
+				"HTTP handler %s mints context.%s(); derive work contexts from r.Context() so client disconnects and server shutdown cancel the work",
+				n.Name(), name)
+		}
+		return true
+	})
+}
+
+// isHandlerShape reports whether the node's signature is the
+// net/http handler shape (w http.ResponseWriter, r *http.Request).
+func isHandlerShape(pass *framework.Pass, n *cflite.FuncNode) bool {
+	var sig *types.Signature
+	switch {
+	case n.Decl != nil:
+		if fn, ok := pass.Info.Defs[n.Decl.Name].(*types.Func); ok {
+			sig, _ = fn.Type().(*types.Signature)
+		}
+	case n.Lit != nil:
+		sig, _ = pass.Info.TypeOf(n.Lit).(*types.Signature)
+	}
+	if sig == nil || sig.Params().Len() != 2 {
+		return false
+	}
+	return isHTTPType(sig.Params().At(0).Type(), "ResponseWriter") &&
+		isHTTPType(sig.Params().At(1).Type(), "Request")
+}
+
+// isHTTPType matches net/http.name, through one pointer.
+func isHTTPType(t types.Type, name string) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "net/http" && obj.Name() == name
+}
+
+// singleDefs maps each local variable assigned exactly once — via := or
+// var, single-value or as the first element of a (ctx, cancel) tuple —
+// to its defining expression. Reassigned variables are dropped: their
+// value at the call site is not provable.
+func singleDefs(pass *framework.Pass, body *ast.BlockStmt) map[types.Object]ast.Expr {
+	defs := map[types.Object]ast.Expr{}
+	dead := map[types.Object]bool{}
+	record := func(id *ast.Ident, value ast.Expr) {
+		obj := pass.Info.Defs[id]
+		if obj == nil {
+			// Plain = assignment: whatever it targets is multiply assigned.
+			if obj := pass.Info.Uses[id]; obj != nil {
+				dead[obj] = true
+			}
+			return
+		}
+		if _, seen := defs[obj]; seen {
+			dead[obj] = true
+			return
+		}
+		defs[obj] = value
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				id, ok := ast.Unparen(lhs).(*ast.Ident)
+				if !ok {
+					continue
+				}
+				switch {
+				case len(n.Rhs) == len(n.Lhs):
+					record(id, n.Rhs[i])
+				case i == 0 && len(n.Rhs) == 1:
+					// ctx, cancel := context.WithCancel(...): the first
+					// element carries the context.
+					record(id, n.Rhs[0])
+				default:
+					if obj := pass.Info.Defs[id]; obj != nil {
+						dead[obj] = true
+					}
+				}
+			}
+		case *ast.ValueSpec:
+			for i, id := range n.Names {
+				switch {
+				case len(n.Values) == len(n.Names):
+					record(id, n.Values[i])
+				case i == 0 && len(n.Values) == 1:
+					record(id, n.Values[0])
+				}
+			}
+		case *ast.UnaryExpr:
+			// &ctx: writes through the pointer are invisible here.
+			if id, ok := ast.Unparen(n.X).(*ast.Ident); ok {
+				if obj := pass.Info.Uses[id]; obj != nil {
+					dead[obj] = true
+				}
+			}
+		}
+		return true
+	})
+	for obj := range dead {
+		delete(defs, obj)
+	}
+	return defs
+}
+
+// strippedCtx reports whether e provably evaluates to a
+// deadline-stripped context, returning the human-readable root for the
+// diagnostic ("context.WithoutCancel", "rooted in context.Background").
+// depth bounds the local-variable chase (defs is acyclic by single
+// assignment, but the bound keeps pathological chains cheap).
+func strippedCtx(pass *framework.Pass, defs map[types.Object]ast.Expr, e ast.Expr, depth int) (root string, stripped bool) {
+	if depth > 10 {
+		return "", false
+	}
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		obj := pass.Info.Uses[e]
+		if obj == nil {
+			return "", false
+		}
+		def, ok := defs[obj]
+		if !ok {
+			return "", false
+		}
+		return strippedCtx(pass, defs, def, depth+1)
+	case *ast.CallExpr:
+		name, ok := contextCall(pass, e)
+		if !ok {
+			return "", false
+		}
+		switch name {
+		case "Background", "TODO":
+			return "rooted in context." + name, true
+		case "WithoutCancel":
+			return "context.WithoutCancel", true
+		case "WithValue", "WithCancel", "WithCancelCause":
+			// Rewraps keep whatever root they were given; stripped iff the
+			// parent is.
+			if len(e.Args) == 0 {
+				return "", false
+			}
+			return strippedCtx(pass, defs, e.Args[0], depth+1)
+		}
+		// WithTimeout/WithDeadline re-establish a deadline; anything else
+		// is not provable.
+		return "", false
+	}
+	return "", false
+}
+
+// contextCall matches a call to a package-level context function,
+// returning its name.
+func contextCall(pass *framework.Pass, call *ast.CallExpr) (string, bool) {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return "", false
+	}
+	obj := pass.Info.Uses[id]
+	if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "context" {
+		return "", false
+	}
+	return obj.Name(), true
+}

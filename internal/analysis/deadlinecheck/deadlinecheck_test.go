@@ -1,0 +1,13 @@
+package deadlinecheck_test
+
+import (
+	"testing"
+
+	"hpcmetrics/internal/analysis/analysistest"
+	"hpcmetrics/internal/analysis/deadlinecheck"
+)
+
+func TestDeadlinecheck(t *testing.T) {
+	analysistest.Run(t, "testdata", deadlinecheck.Analyzer,
+		"deadline", "deadlineclean", "handler")
+}

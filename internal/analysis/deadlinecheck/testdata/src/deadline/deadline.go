@@ -1,0 +1,47 @@
+// Flagging fixtures for deadlinecheck rule 1: deadline-stripped contexts
+// handed to ctx-requiring callees from functions that are themselves
+// under a caller's deadline.
+package deadline
+
+import "context"
+
+type key struct{}
+
+// worker spawns a goroutine: it (directly) requires a context.
+func worker(ctx context.Context, ch chan int) {
+	go func() {
+		select {
+		case <-ctx.Done():
+		case ch <- 1:
+		}
+	}()
+}
+
+// rewrapInline hands worker a Background root rewrapped in place.
+func rewrapInline(ctx context.Context, ch chan int) {
+	<-ctx.Done()
+	worker(context.WithValue(context.Background(), key{}, 1), ch) // want `passes a deadline-stripped context \(rooted in context.Background\)`
+}
+
+// rewrapLocal launders the rewrap through a single-assignment local.
+func rewrapLocal(ctx context.Context, ch chan int) {
+	<-ctx.Done()
+	c := context.WithValue(context.Background(), key{}, 1)
+	worker(c, ch) // want `passes a deadline-stripped context \(rooted in context.Background\)`
+}
+
+// stripped uses WithoutCancel, which severs deadline and cancellation
+// even from a live parent.
+func stripped(ctx context.Context, ch chan int) {
+	<-ctx.Done()
+	worker(context.WithoutCancel(ctx), ch) // want `passes a deadline-stripped context \(context.WithoutCancel\)`
+}
+
+// cancelChain threads Background through WithCancel: cancellable, but
+// the caller's deadline is still gone.
+func cancelChain(ctx context.Context, ch chan int) {
+	<-ctx.Done()
+	c, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	worker(c, ch) // want `passes a deadline-stripped context \(rooted in context.Background\)`
+}

@@ -1,0 +1,57 @@
+// Clean fixtures for deadlinecheck rule 1: live contexts, re-armed
+// deadlines, entry points, and unprovable values must not be flagged.
+package deadlineclean
+
+import (
+	"context"
+	"time"
+)
+
+type key struct{}
+
+func worker(ctx context.Context, ch chan int) {
+	go func() {
+		select {
+		case <-ctx.Done():
+		case ch <- 1:
+		}
+	}()
+}
+
+// passthrough hands the live ctx straight through.
+func passthrough(ctx context.Context, ch chan int) {
+	<-ctx.Done()
+	worker(ctx, ch)
+}
+
+// rearmed re-establishes a deadline on a Background root: the work is
+// bounded again, whatever the caller's deadline was.
+func rearmed(ctx context.Context, ch chan int) {
+	<-ctx.Done()
+	c, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	worker(c, ch)
+}
+
+// bare passes context.Background() directly: that is ctxflow rule 3's
+// finding, not re-flagged here.
+func bare(ctx context.Context, ch chan int) {
+	<-ctx.Done()
+	worker(context.Background(), ch)
+}
+
+// reassigned cannot be proven stripped: the local is written twice.
+func reassigned(ctx context.Context, ch chan int) {
+	<-ctx.Done()
+	c := context.WithValue(context.Background(), key{}, 1)
+	c = ctx
+	worker(c, ch)
+}
+
+// entry takes no ctx: minting a root here is the blessed entry-point
+// shape.
+func entry(ch chan int) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	worker(ctx, ch)
+}

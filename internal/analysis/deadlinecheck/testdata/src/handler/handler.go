@@ -1,0 +1,44 @@
+// Fixtures for deadlinecheck rule 2: HTTP-handler-shaped functions must
+// derive work contexts from r.Context().
+package handler
+
+import (
+	"context"
+	"net/http"
+	"time"
+)
+
+// mint detaches its work from the request lifecycle.
+func mint(w http.ResponseWriter, r *http.Request) {
+	ctx := context.Background() // want `HTTP handler mint mints context.Background\(\); derive work contexts from r.Context\(\)`
+	_ = ctx
+	w.WriteHeader(200)
+}
+
+// mintTODO is the same hole spelled TODO.
+func mintTODO(w http.ResponseWriter, r *http.Request) {
+	ctx := context.TODO() // want `HTTP handler mintTODO mints context.TODO\(\)`
+	_ = ctx
+	w.WriteHeader(200)
+}
+
+// derived is the blessed shape.
+func derived(w http.ResponseWriter, r *http.Request) {
+	ctx, cancel := context.WithTimeout(r.Context(), time.Second)
+	defer cancel()
+	<-ctx.Done()
+	w.WriteHeader(200)
+}
+
+// litHandler checks the shape match on function literals too.
+var litHandler = func(w http.ResponseWriter, r *http.Request) {
+	ctx := context.Background() // want `HTTP handler litHandler mints context.Background\(\)`
+	_ = ctx
+}
+
+// notHandler has two params but not the handler shape: minting is the
+// entry-point liberty.
+func notHandler(a int, b string) {
+	ctx := context.Background()
+	_ = ctx
+}

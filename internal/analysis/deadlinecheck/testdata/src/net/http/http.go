@@ -1,0 +1,21 @@
+// Package http is a minimal stand-in for net/http, just enough surface
+// for the handler-shape fixtures: type-checking the real net/http from
+// source would drag in half the standard library.
+package http
+
+import "context"
+
+// ResponseWriter mirrors net/http.ResponseWriter's role in the fixtures.
+type ResponseWriter interface {
+	WriteHeader(statusCode int)
+}
+
+// Request mirrors net/http.Request: a carrier for the per-request ctx.
+type Request struct {
+	ctx context.Context
+}
+
+// Context returns the request's context.
+func (r *Request) Context() context.Context {
+	return r.ctx
+}

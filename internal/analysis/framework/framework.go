@@ -58,12 +58,32 @@ type Pass struct {
 // bodies skipped as an import). Values are analyzer-defined but must be
 // JSON-marshalable: cmd/hpclint -facts dumps the whole store.
 type ModuleFacts struct {
-	pkgs map[string]map[string]any
+	pkgs   map[string]map[string]any
+	closed map[string]bool
 }
 
 // NewModuleFacts returns an empty cross-package fact store.
 func NewModuleFacts() *ModuleFacts {
-	return &ModuleFacts{pkgs: map[string]map[string]any{}}
+	return &ModuleFacts{pkgs: map[string]map[string]any{}, closed: map[string]bool{}}
+}
+
+// SetClosed records the package paths that make up this driver run's
+// analysis set — the closed world. Resolutions that rest on having seen
+// every value of a type (interface devirtualization) are only sound for
+// types declared inside the closed world: a package outside it could
+// construct values the run never observed.
+func (m *ModuleFacts) SetClosed(pkgPaths []string) {
+	if m == nil {
+		return
+	}
+	for _, p := range pkgPaths {
+		m.closed[p] = true
+	}
+}
+
+// IsClosed reports whether pkgPath is part of this run's analysis set.
+func (m *ModuleFacts) IsClosed(pkgPath string) bool {
+	return m != nil && m.closed[pkgPath]
 }
 
 // Export records a fact for the function object path objPath of package
@@ -94,6 +114,41 @@ func (m *ModuleFacts) Lookup(obj types.Object) (any, bool) {
 	}
 	v, ok := m.pkgs[obj.Pkg().Path()][fn.FullName()]
 	return v, ok
+}
+
+// All returns every fact exported under objPath by any analyzed package,
+// in sorted exporting-package order. It is the merge point for facts
+// that several packages contribute to independently — the interface
+// implementors each package observed flowing into one interface method —
+// where Lookup's single declaring-package slot would lose information.
+func (m *ModuleFacts) All(objPath string) []any {
+	if m == nil {
+		return nil
+	}
+	var out []any
+	for _, pkg := range m.Packages() {
+		if v, ok := m.pkgs[pkg][objPath]; ok {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// Find returns the fact exported under objPath by whichever package
+// declared it, located by scanning every exporting package (first hit in
+// sorted order). It resolves facts for functions known only by object
+// path — an interface implementor recorded as a string — where no
+// types.Object is at hand for Lookup.
+func (m *ModuleFacts) Find(objPath string) (any, bool) {
+	if m == nil {
+		return nil, false
+	}
+	for _, pkg := range m.Packages() {
+		if v, ok := m.pkgs[pkg][objPath]; ok {
+			return v, true
+		}
+	}
+	return nil, false
 }
 
 // Packages returns the sorted package paths with exported facts.
@@ -170,11 +225,20 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 // names the package/function whose exported fact is the evidence (it
 // rides along in cmd/hpclint's -json output).
 func (p *Pass) ReportfProvenance(pos token.Pos, provenance, format string, args ...any) {
+	p.ReportfVia(pos, provenance, "", format, args...)
+}
+
+// ReportfVia is the fully attributed report: provenance names the
+// exported fact the finding rests on, and devirt records the interface
+// dispatch the call edge was resolved through ("(pkg.Doer).Do →
+// (*pkg.Spawner).Do"). Both ride along in cmd/hpclint's -json output.
+func (p *Pass) ReportfVia(pos token.Pos, provenance, devirt, format string, args ...any) {
 	*p.diags = append(*p.diags, Diagnostic{
 		Pos:        p.Fset.Position(pos),
 		Message:    fmt.Sprintf(format, args...),
 		Analyzer:   p.Analyzer.Name,
 		Provenance: provenance,
+		Devirt:     devirt,
 	})
 }
 
@@ -188,6 +252,12 @@ type Diagnostic struct {
 	// goroutine"), so a diagnostic in package a that exists only because
 	// of package b's body is traceable to b.
 	Provenance string
+	// Devirt, when set, records the interface-method dispatch the
+	// finding's call edge was resolved through: the interface method and
+	// the concrete target it devirtualized to ("(pkg.Doer).Do →
+	// (*pkg.Spawner).Do"), or the implementor set behind an all-agree
+	// resolution ("(pkg.Doer).Do agreed by (*pkg.A).Do, (*pkg.B).Do").
+	Devirt string
 }
 
 func (d Diagnostic) String() string {

@@ -190,6 +190,18 @@ func (l *Loader) SortDeps(dirs []string) ([]string, error) {
 	return out, nil
 }
 
+// ImportPath derives dir's import path from the enclosing module — the
+// path Load would assign — for naming packages in driver errors even
+// when loading them failed.
+func (l *Loader) ImportPath(dir string) string {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return filepath.Base(dir)
+	}
+	l.findModule(abs)
+	return l.importPathFor(abs)
+}
+
 // importPathFor derives dir's import path from the enclosing module, the
 // same way Load does.
 func (l *Loader) importPathFor(dir string) string {

@@ -8,10 +8,14 @@ import (
 // BenchmarkHpclintModule times one whole-module analysis pass — pattern
 // expansion, dependency-ordered loading, type-checking, every analyzer,
 // and cross-package fact propagation — the same work `make lint` gates
-// CI on. cmd/benchstudy records the equivalent wall time in
+// CI on. The interface-devirtualization phase (implementor collection
+// plus merged-fact resolution) is reported as its own metric so its
+// overhead is visible separately from the load/analyze cost it rides
+// on. cmd/benchstudy records the equivalent wall times in
 // BENCH_study.json so analyzer cost is part of the perf trajectory.
 func BenchmarkHpclintModule(b *testing.B) {
 	root := filepath.Join("..", "..")
+	var ifaceSec float64
 	for i := 0; i < b.N; i++ {
 		res, err := Run([]string{root + "/..."}, All())
 		if err != nil {
@@ -20,5 +24,7 @@ func BenchmarkHpclintModule(b *testing.B) {
 		if res.Packages == 0 {
 			b.Fatal("no packages analyzed")
 		}
+		ifaceSec += res.IfaceSeconds
 	}
+	b.ReportMetric(ifaceSec/float64(b.N), "iface-sec/op")
 }

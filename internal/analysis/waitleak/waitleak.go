@@ -202,33 +202,19 @@ func checkGoroutineSends(pass *framework.Pass, graph *cflite.CallGraph, body *as
 			checkSends(pass, lit.Body, false)
 			return true
 		}
-		// go f() / go pkgFunc(): the named callee's body runs in a
-		// goroutine; its bare sends leak exactly like a literal's. Resolve
-		// through the graph (declarations and uniquely bound function
-		// values); once per callee body is enough however many sites spawn
-		// it.
-		if target := spawnTarget(pass, graph, g.Call); target != nil && target.Body() != nil && !checked[target] {
+		// go f() / go pkgFunc() / go x.Do(): the named callee's body runs
+		// in a goroutine; its bare sends leak exactly like a literal's.
+		// Resolve through the graph (declarations, uniquely bound function
+		// values, and devirtualized interface methods); once per callee
+		// body is enough however many sites spawn it. Consensus and
+		// external nodes have no body and are skipped here — their sends
+		// were checked in their own package's run.
+		if target := graph.ResolveCall(pass.Info, g.Call); target != nil && target.Body() != nil && !checked[target] {
 			checked[target] = true
 			checkSends(pass, target.Body(), false)
 		}
 		return true
 	})
-}
-
-// spawnTarget resolves a go statement's named callee to its graph node,
-// or nil for unresolved targets (interface methods, ambiguous values).
-func spawnTarget(pass *framework.Pass, graph *cflite.CallGraph, call *ast.CallExpr) *cflite.FuncNode {
-	var obj types.Object
-	switch fun := ast.Unparen(call.Fun).(type) {
-	case *ast.Ident:
-		obj = pass.Info.Uses[fun]
-	case *ast.SelectorExpr:
-		obj = pass.Info.Uses[fun.Sel]
-	}
-	if obj == nil {
-		return nil
-	}
-	return graph.NodeFor(obj)
 }
 
 // checkSends flags send statements not covered by an escapable select.
