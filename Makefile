@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race race-full lint lint-fixtures bench bench-study trace-smoke chaos profile fmt
+.PHONY: build test race race-full lint lint-fixtures bench bench-study trace-smoke chaos predictd-smoke profile fmt
 
 build:
 	$(GO) build ./...
@@ -14,9 +14,11 @@ test:
 # race runs the -short suite under the race detector: the 2-machine x
 # 2-application study slice plus every unit test, which exercises the
 # worker pool, cancellation, and the shared-cache paths in minutes, not
-# tens of minutes. race-full is the exhaustive variant.
+# tens of minutes. race-full is the exhaustive variant. The -timeout
+# raises go test's 10m per-package default: the instrumented study
+# package sits right at that line on small machines.
 race:
-	$(GO) test -race -short ./...
+	$(GO) test -race -short -timeout 20m ./...
 
 # race-full includes the concurrent SharedStudy test; expect tens of
 # minutes, dominated by the full study under the race detector (the
@@ -94,6 +96,43 @@ chaos:
 		-prom chaos-out/metrics.prom \
 		> chaos-out/tables.csv
 	$(GO) run ./cmd/tracecheck chaos-out/spans.jsonl chaos-out/manifest.json chaos-out/metrics.prom
+
+# predictd-smoke boots the prediction server on an ephemeral port, waits
+# for the -ready-file handshake, exercises /healthz, /v1/predict (cold,
+# then cached), /v1/rank, and /metrics with curl into
+# predictd-smoke-out/, then shuts the server down with SIGTERM and
+# requires a clean drain ("predictd: drained and stopped" in the log).
+# The cached re-request must carry "cached": true — the smoke fails if
+# memoization broke. CI uploads the directory as an artifact.
+predictd-smoke:
+	mkdir -p predictd-smoke-out
+	rm -f predictd-smoke-out/addr
+	$(GO) build -o predictd-smoke-out/predictd ./cmd/predictd
+	./predictd-smoke-out/predictd -addr 127.0.0.1:0 \
+		-ready-file predictd-smoke-out/addr \
+		2> predictd-smoke-out/server.log & \
+	pid=$$!; \
+	for i in $$(seq 1 100); do [ -s predictd-smoke-out/addr ] && break; sleep 0.1; done; \
+	[ -s predictd-smoke-out/addr ] || { echo "predictd never wrote its ready file"; kill $$pid; exit 1; }; \
+	addr=$$(cat predictd-smoke-out/addr); \
+	set -e; \
+	curl -fsS "http://$$addr/healthz" > predictd-smoke-out/healthz.json; \
+	curl -fsS "http://$$addr/v1/predict?app=rfcth&procs=16&target=ARL_Opteron&metric=9" \
+		> predictd-smoke-out/predict-cold.json; \
+	curl -fsS "http://$$addr/v1/predict?app=rfcth&procs=16&target=ARL_Opteron&metric=9" \
+		> predictd-smoke-out/predict-cached.json; \
+	grep -q '"cached": true' predictd-smoke-out/predict-cached.json || \
+		{ echo "repeat request was not served from cache"; kill $$pid; exit 1; }; \
+	curl -fsS "http://$$addr/v1/rank?app=rfcth&procs=16&metric=9&targets=ARL_Opteron,MHPCC_P3" \
+		> predictd-smoke-out/rank.json; \
+	curl -fsS "http://$$addr/metrics" > predictd-smoke-out/metrics.prom; \
+	grep -q 'predictd_predict_requests_total 2' predictd-smoke-out/metrics.prom || \
+		{ echo "metrics exposition missing request counters"; kill $$pid; exit 1; }; \
+	kill -TERM $$pid; \
+	wait $$pid; \
+	grep -q 'drained and stopped' predictd-smoke-out/server.log || \
+		{ echo "server did not drain cleanly"; cat predictd-smoke-out/server.log; exit 1; }
+	@echo "predictd-smoke: OK"
 
 # profile runs the same slice with the Go profilers wired in and prints
 # the top CPU consumers; profile-out/ also gets the heap profile.

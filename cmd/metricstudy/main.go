@@ -313,6 +313,7 @@ func exportObs(opts study.Options, spansPath, manifestPath, promPath, ablate str
 			"checkpoint":   opts.CheckpointPath,
 			"resume":       opts.Resume,
 			"chaos":        opts.Faults != nil,
+			"faults":       opts.Faults.Fingerprint(),
 		}
 		m.SpanFile = spansPath
 		if err := m.WriteFile(manifestPath); err != nil {

@@ -3,113 +3,196 @@
 // the job fits on the simulated target — compares it against the
 // ground-truth observed time, reporting the paper's Equation 2 error.
 //
+// The computation runs through the shared internal/predictor Engine —
+// the same facade the study harness and the predictd server use — so a
+// number printed here is byte-identical to theirs for the same cell.
+//
 // Usage:
 //
 //	predict -app hycom -target ARL_Opteron [-metric 9] [-procs 96] [-all]
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"hpcmetrics"
+	"hpcmetrics/internal/metrics"
 	"hpcmetrics/internal/persist"
+	"hpcmetrics/internal/predictor"
 )
 
 func main() {
-	appName := flag.String("app", "", "application name (avus, hycom, overflow2, rfcth)")
-	caseName := flag.String("case", "", "test case (standard, large)")
-	procs := flag.Int("procs", 0, "processor count (default: the test case's middle count)")
-	target := flag.String("target", "", "target machine preset")
-	metricID := flag.Int("metric", 9, "metric number 1-9 (paper Table 3)")
-	all := flag.Bool("all", false, "apply all nine metrics")
-	tracePath := flag.String("trace", "", "reuse a trace written by tracer -o instead of tracing now")
-	flag.Parse()
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	code := run(ctx, os.Args[1:], os.Stdout, os.Stderr)
+	stop()
+	os.Exit(code)
+}
+
+// run is the whole CLI, factored from main so tests can drive it with
+// arbitrary flags and capture both streams. Returns the process exit
+// code: 0 on success, 1 on runtime errors, 2 on usage errors.
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("predict", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	appName := fs.String("app", "", "application name (avus, hycom, overflow2, rfcth)")
+	caseName := fs.String("case", "", "test case (standard, large)")
+	procs := fs.Int("procs", 0, "processor count (default: the test case's middle count)")
+	target := fs.String("target", "", "target machine preset")
+	metricID := fs.Int("metric", 9, "metric number 1-9 (paper Table 3)")
+	all := fs.Bool("all", false, "apply all nine metrics")
+	tracePath := fs.String("trace", "", "reuse a trace written by tracer -o instead of tracing now")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	if *appName == "" || *target == "" {
-		fmt.Fprintln(os.Stderr, "predict: -app and -target are required")
-		flag.Usage()
-		os.Exit(2)
+		fmt.Fprintln(stderr, "predict: -app and -target are required")
+		fs.Usage()
+		return 2
+	}
+	// -all applies every metric; a -metric given alongside it would be
+	// silently ignored, so the combination is rejected rather than
+	// guessed at.
+	metricSet := false
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == "metric" {
+			metricSet = true
+		}
+	})
+	if metricSet && *all {
+		fmt.Fprintln(stderr, "predict: -metric and -all are mutually exclusive (drop one)")
+		return 2
 	}
 
-	tc, err := hpcmetrics.LookupTestCase(*appName, *caseName)
-	check(err)
-	if *procs == 0 {
-		*procs, err = tc.DefaultProcs()
-		check(err)
+	if err := predict(ctx, *appName, *caseName, *procs, *target, *metricID, *all, *tracePath, stdout, stderr); err != nil {
+		fmt.Fprintln(stderr, "predict:", err)
+		return 1
 	}
-	app, err := tc.Instance(*procs)
-	check(err)
+	return 0
+}
+
+func predict(ctx context.Context, appName, caseName string, procs int, target string, metricID int, all bool, tracePath string, stdout, stderr io.Writer) error {
+	var eng predictor.Engine
+
+	tc, err := hpcmetrics.LookupTestCase(appName, caseName)
+	if err != nil {
+		return err
+	}
+	if procs == 0 {
+		if procs, err = tc.DefaultProcs(); err != nil {
+			return err
+		}
+	}
+	app, err := tc.Instance(procs)
+	if err != nil {
+		return err
+	}
 
 	base := hpcmetrics.BaseMachine()
-	targetCfg, err := hpcmetrics.LookupMachine(*target)
-	check(err)
-
-	fmt.Fprintf(os.Stderr, "probing %s and %s...\n", base.Name, targetCfg.Name)
-	basePr, err := hpcmetrics.MeasureProbes(base)
-	check(err)
-	targetPr, err := hpcmetrics.MeasureProbes(targetCfg)
-	check(err)
-
-	fmt.Fprintf(os.Stderr, "running %s at %d CPUs on the base system...\n", tc.ID(), *procs)
-	baseRun, err := hpcmetrics.Execute(base, app)
-	check(err)
-
-	var tr *hpcmetrics.Trace
-	if *tracePath != "" {
-		fmt.Fprintf(os.Stderr, "loading trace from %s...\n", *tracePath)
-		tr, err = persist.LoadTrace(*tracePath)
-		check(err)
-		if tr.App != tc.Name || tr.Procs != *procs {
-			fmt.Fprintf(os.Stderr, "predict: trace is %s-%s@%d, requested %s@%d\n",
-				tr.App, tr.Case, tr.Procs, tc.ID(), *procs)
-			os.Exit(1)
-		}
-	} else {
-		fmt.Fprintln(os.Stderr, "tracing on the base system...")
-		tr, err = hpcmetrics.CollectTrace(base, app)
-		check(err)
+	targetCfg, err := hpcmetrics.LookupMachine(target)
+	if err != nil {
+		return err
 	}
 
-	actual, fits, err := observeTarget(targetCfg, app)
-	check(err)
+	fmt.Fprintf(stderr, "probing %s and %s...\n", base.Name, targetCfg.Name)
+	basePr, err := eng.Probes(ctx, base)
+	if err != nil {
+		return err
+	}
+	targetPr, err := eng.Probes(ctx, targetCfg)
+	if err != nil {
+		return err
+	}
 
-	fmt.Printf("%s at %d CPUs: base (%s) observed %.0f s\n",
-		tc.ID(), *procs, base.Name, baseRun.Seconds)
+	fmt.Fprintf(stderr, "running %s at %d CPUs on the base system...\n", tc.ID(), procs)
+	baseRun, err := eng.Execute(ctx, base, app)
+	if err != nil {
+		return err
+	}
 
-	ids := []int{*metricID}
-	if *all {
+	var tr *hpcmetrics.Trace
+	if tracePath != "" {
+		fmt.Fprintf(stderr, "loading trace from %s...\n", tracePath)
+		tr, err = persist.LoadTrace(tracePath)
+		if err != nil {
+			return err
+		}
+		if err := validateTrace(tr, tc, procs); err != nil {
+			return err
+		}
+	} else {
+		fmt.Fprintln(stderr, "tracing on the base system...")
+		tr, err = eng.Trace(ctx, base, app)
+		if err != nil {
+			return err
+		}
+	}
+
+	actual, fits, err := observeTarget(ctx, eng, targetCfg, app)
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(stdout, "%s at %d CPUs: base (%s) observed %.0f s\n",
+		tc.ID(), procs, base.Name, baseRun.Seconds)
+
+	ids := []int{metricID}
+	if all {
 		ids = []int{1, 2, 3, 4, 5, 6, 7, 8, 9}
 	}
 	for _, id := range ids {
 		m, err := hpcmetrics.MetricByID(id)
-		check(err)
-		pred, err := m.Predict(hpcmetrics.MetricContext{
+		if err != nil {
+			return err
+		}
+		pred, err := eng.PredictMetric(ctx, m, metrics.Context{
 			Trace: tr, Base: basePr, Target: targetPr, BaseSeconds: baseRun.Seconds,
 		})
-		check(err)
-		fmt.Printf("metric %-4s %-20s predicts %8.0f s on %s",
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "metric %-4s %-20s predicts %8.0f s on %s",
 			m.Label(), m.Name, pred, targetCfg.Name)
 		if fits {
-			fmt.Printf("  (observed %.0f s, error %+.0f%%)",
+			fmt.Fprintf(stdout, "  (observed %.0f s, error %+.0f%%)",
 				actual, hpcmetrics.SignedError(pred, actual))
 		}
-		fmt.Println()
+		fmt.Fprintln(stdout)
 	}
 	if !fits {
-		fmt.Printf("(job does not fit on %s's %d processors; no observed time)\n",
+		fmt.Fprintf(stdout, "(job does not fit on %s's %d processors; no observed time)\n",
 			targetCfg.Name, targetCfg.TotalProcs)
 	}
+	return nil
+}
+
+// validateTrace rejects a reused trace that was collected for a
+// different cell. All three identity fields are checked — a trace of the
+// right application and processor count but the wrong test case (a
+// "standard" trace driving a "large" prediction) is as wrong as a
+// different application.
+func validateTrace(tr *hpcmetrics.Trace, tc hpcmetrics.AppTestCase, procs int) error {
+	if tr.App != tc.Name || tr.Case != tc.Case || tr.Procs != procs {
+		return fmt.Errorf("trace is %s-%s@%d, requested %s@%d",
+			tr.App, tr.Case, tr.Procs, tc.ID(), procs)
+	}
+	return nil
 }
 
 // observeTarget runs the app on the target machine for ground truth. A
 // job too large for the machine is not a failure — there is simply no
 // observation, like the blank cells in the paper's appendix — but every
 // other execution error is real and must not be swallowed.
-func observeTarget(cfg *hpcmetrics.MachineConfig, app *hpcmetrics.App) (seconds float64, fits bool, err error) {
-	run, err := hpcmetrics.Execute(cfg, app)
+func observeTarget(ctx context.Context, eng predictor.Engine, cfg *hpcmetrics.MachineConfig, app *hpcmetrics.App) (seconds float64, fits bool, err error) {
+	run, err := eng.Execute(ctx, cfg, app)
 	if errors.Is(err, hpcmetrics.ErrJobTooLarge) {
 		return 0, false, nil
 	}
@@ -117,11 +200,4 @@ func observeTarget(cfg *hpcmetrics.MachineConfig, app *hpcmetrics.App) (seconds 
 		return 0, false, err
 	}
 	return run.Seconds, true, nil
-}
-
-func check(err error) {
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "predict:", err)
-		os.Exit(1)
-	}
 }

@@ -1,0 +1,121 @@
+// Command predictd serves the paper's procurement question over
+// HTTP/JSON: "how fast will application X's test case run on machine Y
+// at Z processors, by metric M?" — prediction-as-a-service on top of the
+// shared internal/predictor facade.
+//
+// Endpoints:
+//
+//	GET /v1/predict?app=&case=&procs=&target=&metric=[&observed=1]
+//	GET /v1/rank?app=&case=&procs=&metric=[&targets=a,b][&observed=1]
+//	GET /v1/apps       GET /v1/machines     GET /v1/cache
+//	GET /healthz       GET /metrics         (Prometheus text format)
+//
+// Built for heavy concurrent traffic: probe suites, traces, and
+// predictions are deterministic, so they are memoized with exact cache
+// hits; identical concurrent cold requests coalesce onto one
+// computation; a bounded worker gate sheds load with 429 + Retry-After
+// when the queue saturates; and every request runs under a deadline
+// derived from the client's own context, so a disconnect or timeout
+// cancels the work instead of orphaning it.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"hpcmetrics/internal/obs"
+	"hpcmetrics/internal/predictor"
+)
+
+func main() {
+	// A signal-cancelled root: ^C or SIGTERM drains in-flight requests
+	// through http.Server.Shutdown instead of dropping them mid-write.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx); err != nil {
+		fmt.Fprintln(os.Stderr, "predictd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(ctx context.Context) error {
+	addr := flag.String("addr", "127.0.0.1:8080", "listen address (host:port; port 0 picks a free port)")
+	workers := flag.Int("workers", 0, "concurrently served requests (0 = GOMAXPROCS)")
+	queue := flag.Int("queue", 64, "requests allowed to wait for a worker before 429s")
+	requestTimeout := flag.Duration("request-timeout", 2*time.Minute, "per-request deadline (0 = bounded only by the client)")
+	shutdownTimeout := flag.Duration("shutdown-timeout", 10*time.Second, "grace period for in-flight requests on shutdown")
+	readyFile := flag.String("ready-file", "", "write the bound address to this file once listening (for scripts using port 0)")
+	flag.Parse()
+
+	o := obs.New()
+	p := predictor.New(predictor.Config{Workers: *workers})
+	srv := newServer(p, o, serverConfig{
+		workers:        effectiveWorkers(*workers),
+		queueLimit:     *queue,
+		requestTimeout: *requestTimeout,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	bound := ln.Addr().String()
+	if *readyFile != "" {
+		if err := os.WriteFile(*readyFile, []byte(bound+"\n"), 0o644); err != nil {
+			return errors.Join(err, ln.Close())
+		}
+	}
+	fmt.Fprintf(os.Stderr, "predictd: listening on %s (workers %d, queue %d, request timeout %s)\n",
+		bound, effectiveWorkers(*workers), *queue, *requestTimeout)
+
+	hs := &http.Server{
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+		BaseContext:       func(net.Listener) context.Context { return ctx },
+	}
+	done := make(chan error, 1)
+	go func() {
+		<-ctx.Done()
+		// The buffer guarantees the send never blocks (one send ever),
+		// so the default branch is unreachable.
+		select {
+		case done <- shutdownWithGrace(hs, *shutdownTimeout):
+		default:
+		}
+	}()
+	if err := hs.Serve(ln); !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	if err := <-done; err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	fmt.Fprintln(os.Stderr, "predictd: drained and stopped")
+	return nil
+}
+
+// shutdownWithGrace drains in-flight requests under a fresh deadline. It
+// takes no context on purpose: the root that triggered the shutdown is
+// already cancelled, so the grace period must not derive from it.
+func shutdownWithGrace(hs *http.Server, grace time.Duration) error {
+	ctx, cancel := context.WithTimeout(context.Background(), grace)
+	defer cancel()
+	return hs.Shutdown(ctx)
+}
+
+// effectiveWorkers resolves the 0-means-GOMAXPROCS default once, so the
+// gate and the startup banner agree.
+func effectiveWorkers(n int) int {
+	if n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}

@@ -1,0 +1,305 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"hpcmetrics/internal/apps"
+	"hpcmetrics/internal/machine"
+	"hpcmetrics/internal/obs"
+	"hpcmetrics/internal/predictor"
+)
+
+// serverConfig tunes the serving layer, separate from the predictor's
+// own compute configuration.
+type serverConfig struct {
+	// workers bounds concurrently served requests (the gate's semaphore
+	// width); 0 means GOMAXPROCS.
+	workers int
+	// queueLimit bounds how many requests may wait for a worker before
+	// the server sheds load with 429; 0 sheds as soon as every worker is
+	// busy.
+	queueLimit int
+	// requestTimeout is the per-request deadline, derived from the
+	// client's own context so a disconnect cancels the work too; 0
+	// leaves requests bounded only by the client.
+	requestTimeout time.Duration
+}
+
+// gate is the server's admission control: a semaphore of worker slots
+// plus a bounded wait queue. Acquire blocks under the caller's context
+// until a slot frees, sheds immediately once the queue is full, and
+// never detaches from the request deadline — a queued request whose
+// deadline expires leaves the queue.
+type gate struct {
+	sem        chan struct{}
+	queueLimit int64
+	waiting    atomic.Int64
+}
+
+func newGate(workers, queueLimit int) *gate {
+	if workers <= 0 {
+		workers = 1
+	}
+	return &gate{sem: make(chan struct{}, workers), queueLimit: int64(queueLimit)}
+}
+
+// acquire claims a worker slot. On success it returns a release func and
+// true. On failure it returns (nil, false): either the queue was full
+// (load shed — ctx.Err() is nil) or the caller's context expired while
+// queued (ctx.Err() is non-nil).
+func (g *gate) acquire(ctx context.Context) (release func(), ok bool) {
+	select {
+	case g.sem <- struct{}{}:
+		return func() { <-g.sem }, true
+	default:
+	}
+	if g.waiting.Add(1) > g.queueLimit {
+		g.waiting.Add(-1)
+		return nil, false
+	}
+	defer g.waiting.Add(-1)
+	select {
+	case g.sem <- struct{}{}:
+		return func() { <-g.sem }, true
+	case <-ctx.Done():
+		return nil, false
+	}
+}
+
+// server is the predictd HTTP layer over the shared Predictor.
+type server struct {
+	p   *predictor.Predictor
+	o   *obs.Obs
+	g   *gate
+	cfg serverConfig
+	mux *http.ServeMux
+}
+
+func newServer(p *predictor.Predictor, o *obs.Obs, cfg serverConfig) *server {
+	s := &server{p: p, o: o, g: newGate(cfg.workers, cfg.queueLimit), cfg: cfg, mux: http.NewServeMux()}
+	s.mux.Handle("/v1/predict", s.endpoint("predict", s.handlePredict))
+	s.mux.Handle("/v1/rank", s.endpoint("rank", s.handleRank))
+	s.mux.HandleFunc("/v1/apps", s.handleApps)
+	s.mux.HandleFunc("/v1/machines", s.handleMachines)
+	s.mux.HandleFunc("/v1/cache", s.handleCache)
+	s.mux.HandleFunc("/healthz", handleHealth)
+	s.mux.Handle("/metrics", o.Meter().PromHandler())
+	return s
+}
+
+func (s *server) Handler() http.Handler { return s.mux }
+
+// errorBody is the JSON shape of every non-2xx response.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		// The status line is already out; a broken client connection is
+		// the only way here, and there is nothing left to send it.
+		return
+	}
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, errorBody{Error: fmt.Sprintf(format, args...)})
+}
+
+// endpoint wraps a compute handler with the serving discipline shared by
+// predict and rank: obs injection, the per-request deadline derived from
+// the client's context, admission through the gate (429 + Retry-After on
+// a full queue, 503 on a deadline spent queueing), and per-endpoint
+// request/latency/error accounting.
+func (s *server) endpoint(name string, h func(ctx context.Context, w http.ResponseWriter, r *http.Request)) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		meter := s.o.Meter()
+		meter.Counter("predictd_" + name + "_requests_total").Inc()
+		lat := meter.Histogram("predictd_" + name + "_seconds")
+		t0 := lat.StartTimer()
+		defer lat.ObserveSince(t0)
+		inflight := meter.Gauge("predictd_inflight")
+		inflight.Add(1)
+		defer inflight.Add(-1)
+
+		ctx := s.o.Inject(r.Context())
+		if s.cfg.requestTimeout > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, s.cfg.requestTimeout)
+			defer cancel()
+		}
+		release, ok := s.g.acquire(ctx)
+		if !ok {
+			if ctx.Err() != nil {
+				meter.Counter("predictd_queue_expired_total").Inc()
+				writeError(w, http.StatusServiceUnavailable, "request deadline expired while queued")
+				return
+			}
+			meter.Counter("predictd_shed_total").Inc()
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusTooManyRequests, "server saturated: %d workers busy, %d queued; retry later",
+				cap(s.g.sem), s.cfg.queueLimit)
+			return
+		}
+		defer release()
+		h(ctx, w, r)
+	})
+}
+
+// writeComputeError maps predictor errors onto statuses: validation
+// failures are the client's (400), expired deadlines are 504, anything
+// else is a genuine server-side failure (500).
+func (s *server) writeComputeError(w http.ResponseWriter, err error) {
+	meter := s.o.Meter()
+	switch {
+	case errors.Is(err, predictor.ErrBadRequest):
+		meter.Counter("predictd_bad_requests_total").Inc()
+		writeError(w, http.StatusBadRequest, "%v", err)
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		meter.Counter("predictd_deadline_total").Inc()
+		writeError(w, http.StatusGatewayTimeout, "request deadline expired: %v", err)
+	default:
+		meter.Counter("predictd_errors_total").Inc()
+		writeError(w, http.StatusInternalServerError, "%v", err)
+	}
+}
+
+// queryInt parses an optional integer query parameter.
+func queryInt(r *http.Request, name string, def int) (int, error) {
+	v := r.URL.Query().Get(name)
+	if v == "" {
+		return def, nil
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil {
+		return 0, fmt.Errorf("parameter %q: %v", name, err)
+	}
+	return n, nil
+}
+
+// queryBool parses an optional boolean query parameter ("1"/"true").
+func queryBool(r *http.Request, name string) bool {
+	switch strings.ToLower(r.URL.Query().Get(name)) {
+	case "1", "true", "yes":
+		return true
+	}
+	return false
+}
+
+func (s *server) handlePredict(ctx context.Context, w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	procs, err := queryInt(r, "procs", 0)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	m, err := queryInt(r, "metric", 9)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	res, err := s.p.Predict(ctx, predictor.Request{
+		App:      q.Get("app"),
+		Case:     q.Get("case"),
+		Procs:    procs,
+		Machine:  q.Get("target"),
+		MetricID: m,
+		Observed: queryBool(r, "observed"),
+	})
+	if err != nil {
+		s.writeComputeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+func (s *server) handleRank(ctx context.Context, w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	procs, err := queryInt(r, "procs", 0)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	m, err := queryInt(r, "metric", 9)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	var machines []string
+	if t := q.Get("targets"); t != "" {
+		for _, name := range strings.Split(t, ",") {
+			if name = strings.TrimSpace(name); name != "" {
+				machines = append(machines, name)
+			}
+		}
+	}
+	res, err := s.p.Rank(ctx, predictor.RankRequest{
+		App:      q.Get("app"),
+		Case:     q.Get("case"),
+		Procs:    procs,
+		MetricID: m,
+		Machines: machines,
+		Observed: queryBool(r, "observed"),
+	})
+	if err != nil {
+		s.writeComputeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+// appInfo is one /v1/apps entry.
+type appInfo struct {
+	App       string `json:"app"`
+	Case      string `json:"case"`
+	CPUCounts []int  `json:"cpu_counts"`
+}
+
+func (s *server) handleApps(w http.ResponseWriter, r *http.Request) {
+	var out []appInfo
+	for _, tc := range apps.Registry() {
+		out = append(out, appInfo{App: tc.Name, Case: tc.Case, CPUCounts: tc.CPUCounts})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// machineInfo is one /v1/machines entry.
+type machineInfo struct {
+	Name       string `json:"name"`
+	TotalProcs int    `json:"total_procs"`
+	Base       bool   `json:"base,omitempty"`
+}
+
+func (s *server) handleMachines(w http.ResponseWriter, r *http.Request) {
+	base := machine.Base()
+	var out []machineInfo
+	for _, name := range machine.Names() {
+		cfg, err := machine.Preset(name)
+		if err != nil {
+			s.writeComputeError(w, err)
+			return
+		}
+		out = append(out, machineInfo{Name: cfg.Name, TotalProcs: cfg.TotalProcs, Base: cfg.Name == base.Name})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *server) handleCache(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.p.CacheSizes())
+}
+
+func handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}

@@ -43,6 +43,7 @@ import (
 	"hpcmetrics/internal/machine"
 	"hpcmetrics/internal/metrics"
 	"hpcmetrics/internal/obs"
+	"hpcmetrics/internal/predictor"
 	"hpcmetrics/internal/probes"
 	"hpcmetrics/internal/report"
 	"hpcmetrics/internal/simexec"
@@ -195,6 +196,37 @@ type (
 
 // NewObs returns an observability bundle to pass in StudyOptions.Obs.
 func NewObs() *Obs { return obs.New() }
+
+// Serving: the stateless prediction engine and the memoizing, coalescing
+// Predictor behind cmd/predict and the predictd server (see
+// internal/predictor).
+type (
+	// PredictEngine is the stateless compute core shared by the study
+	// harness, the predict CLI, and the predictd server.
+	PredictEngine = predictor.Engine
+	// Predictor answers prediction requests through the engine with
+	// exact-hit memoization and request coalescing.
+	Predictor = predictor.Predictor
+	// PredictorConfig tunes a Predictor.
+	PredictorConfig = predictor.Config
+	// PredictRequest names one prediction cell.
+	PredictRequest = predictor.Request
+	// PredictResult is one answered prediction.
+	PredictResult = predictor.Result
+	// RankRequest asks for machines ordered fastest-first for one cell.
+	RankRequest = predictor.RankRequest
+	// RankResult is a rank answer, fastest machine first.
+	RankResult = predictor.Ranking
+)
+
+// ErrBadPredictRequest marks request-validation failures from the
+// Predictor — unknown application, case, machine, or metric, or an
+// unusable processor count. Test with errors.Is.
+var ErrBadPredictRequest = predictor.ErrBadRequest
+
+// NewPredictor returns a Predictor with empty caches, anchored to the
+// study's base system.
+func NewPredictor(cfg PredictorConfig) *Predictor { return predictor.New(cfg) }
 
 // Robustness: the deterministic fault injector and the retry/checkpoint
 // controls that let a study survive — and be tested under — transient

@@ -138,6 +138,25 @@ func New(seed uint64, rules ...Rule) *Injector {
 	return &Injector{seed: seed, rules: rules, hits: make(map[hitID]int)}
 }
 
+// Fingerprint canonically encodes the injector's seed and rule set, in
+// rule order. Whether and where faults fire is a pure function of both,
+// so two injectors with equal fingerprints perturb a deterministic run
+// identically — the study's checkpoint journal records the fingerprint
+// to reject resuming under a different chaos configuration. Nil-safe: a
+// nil (disarmed) injector reports the empty string, distinct from any
+// armed one.
+func (in *Injector) Fingerprint() string {
+	if in == nil {
+		return ""
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "seed=%d", in.seed)
+	for _, r := range in.rules {
+		fmt.Fprintf(&b, ",%s:%s:%g:%d:%s:%s", r.Kind, r.Point, r.Rate, r.Burst, r.Stall, r.Match)
+	}
+	return b.String()
+}
+
 // Fired reports how many faults of one kind have been injected.
 func (in *Injector) Fired(k Kind) int64 {
 	if in == nil || k < Transient || k > Permanent {

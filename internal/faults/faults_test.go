@@ -191,3 +191,31 @@ func TestParseKindRoundTrip(t *testing.T) {
 		t.Error("ParseKind accepted an unknown kind")
 	}
 }
+
+// TestFingerprintDistinguishesPlans: the fingerprint feeding the study's
+// checkpoint options tag must separate every distinct fault plan — seed,
+// rule set, and rule parameters — and be stable for identical plans.
+func TestFingerprintDistinguishesPlans(t *testing.T) {
+	if got := (*Injector)(nil).Fingerprint(); got != "" {
+		t.Errorf("nil injector fingerprint = %q, want empty", got)
+	}
+	rule := Rule{Point: PointExecBlock, Kind: Transient, Rate: 0.5, Burst: 2}
+	same1 := New(7, rule).Fingerprint()
+	same2 := New(7, rule).Fingerprint()
+	if same1 != same2 {
+		t.Errorf("identical plans fingerprint differently: %q vs %q", same1, same2)
+	}
+	distinct := map[string]string{
+		"seed":     New(8, rule).Fingerprint(),
+		"no rules": New(7).Fingerprint(),
+		"kind":     New(7, Rule{Point: PointExecBlock, Kind: Permanent, Rate: 0.5, Burst: 2}).Fingerprint(),
+		"rate":     New(7, Rule{Point: PointExecBlock, Kind: Transient, Rate: 1, Burst: 2}).Fingerprint(),
+		"stall":    New(7, Rule{Point: PointExecBlock, Kind: Stall, Rate: 0.5, Stall: time.Second}).Fingerprint(),
+		"match":    New(7, Rule{Point: PointExecBlock, Kind: Transient, Rate: 0.5, Burst: 2, Match: "avus"}).Fingerprint(),
+	}
+	for field, fp := range distinct {
+		if fp == same1 {
+			t.Errorf("changing %s left the fingerprint at %q", field, fp)
+		}
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"net/http"
 	"os"
 	"os/exec"
 	"runtime"
@@ -153,6 +154,23 @@ func (r *Registry) WriteProm(w io.Writer) error {
 		fmt.Fprintf(bw, "%s_sum %g\n%s_count %d\n", h.Name, sumSeconds, h.Name, h.Count)
 	}
 	return bw.Flush()
+}
+
+// PromHandler returns an http.Handler serving the registry in the same
+// Prometheus text exposition format as WriteProm — the scrape endpoint a
+// server mounts at /metrics. Nil-safe: a nil registry serves an empty
+// exposition. Each scrape takes a fresh Snapshot, so the handler is safe
+// under concurrent instrument updates.
+func (r *Registry) PromHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := r.WriteProm(w); err != nil {
+			// The exposition was already streaming when the write broke;
+			// the client connection is gone and there is no one left to
+			// tell. The next scrape starts clean.
+			return
+		}
+	})
 }
 
 // ManifestSchema identifies the manifest layout; bump on breaking field

@@ -3,6 +3,8 @@ package obs
 import (
 	"bytes"
 	"context"
+	"net/http"
+	"net/http/httptest"
 	"strings"
 	"sync"
 	"testing"
@@ -389,5 +391,40 @@ func TestManifestFileRoundTrip(t *testing.T) {
 	}
 	if got.SpanFile != "spans.jsonl" || got.GoVersion != m.GoVersion {
 		t.Fatalf("round trip mismatch: %+v", got)
+	}
+}
+
+// TestPromHandler: the /metrics scrape endpoint serves the same text
+// exposition as WriteProm, with the Prometheus content type, and a nil
+// registry serves an empty exposition instead of panicking.
+func TestPromHandler(t *testing.T) {
+	o := New()
+	o.Metrics.Counter("predictd_requests_total").Add(3)
+	o.Metrics.Gauge("predictd_inflight").Add(1)
+
+	req := httptest.NewRequest(http.MethodGet, "/metrics", nil)
+	rec := httptest.NewRecorder()
+	o.Metrics.PromHandler().ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("scrape status %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Errorf("Content-Type = %q, want Prometheus text exposition", ct)
+	}
+	var want bytes.Buffer
+	if err := o.Metrics.WriteProm(&want); err != nil {
+		t.Fatal(err)
+	}
+	if rec.Body.String() != want.String() {
+		t.Errorf("scrape body differs from WriteProm:\n%s\nvs\n%s", rec.Body.String(), want.String())
+	}
+	if !strings.Contains(rec.Body.String(), "predictd_requests_total 3") {
+		t.Errorf("scrape missing counter sample:\n%s", rec.Body.String())
+	}
+
+	rec = httptest.NewRecorder()
+	(*Registry)(nil).PromHandler().ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK || rec.Body.Len() != 0 {
+		t.Errorf("nil registry scrape = %d %q, want empty 200", rec.Code, rec.Body.String())
 	}
 }

@@ -1,0 +1,101 @@
+// Package par is the module's shared ctx-aware fan-out: an indexed,
+// bounded worker pool extracted from the study harness so the serving
+// layer (internal/predictor, cmd/predictd) runs its concurrent work on
+// the same vetted machinery as the batch study.
+//
+// Determinism comes from indexed slots: each worker writes only to its
+// own index, so a caller's aggregation order — and therefore any output
+// bytes derived from it — does not depend on scheduling. The pool
+// reports itself through the context's obs registry under a caller-
+// chosen metric prefix, so the study's and the server's pools stay
+// distinguishable in one registry.
+package par
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"time"
+
+	"hpcmetrics/internal/obs"
+)
+
+// job is one unit of ForEachIndexed work; enq carries the enqueue time
+// only when queue-wait tracking is on, so the disabled path stamps
+// nothing.
+type job struct {
+	i   int
+	enq time.Time
+}
+
+// ForEachIndexed runs work(ctx, i) for every i in [0, n) on a worker
+// pool bounded by workers (0 means GOMAXPROCS). On failure every worker
+// error is reported, joined lowest index first, so a multi-item failure
+// is fully visible; remaining work is cancelled. A cancelled ctx stops
+// dispatch and is returned as ctx.Err().
+//
+// When ctx carries an obs registry, the pool reports itself under
+// prefix: the <prefix>_workers_busy gauge tracks occupancy (its peak is
+// the effective parallelism), <prefix>_queue_wait_seconds records how
+// long each job sat between enqueue and pickup, and <prefix>_jobs_total
+// counts dispatches.
+func ForEachIndexed(ctx context.Context, n, workers int, prefix string, work func(ctx context.Context, i int) error) error {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	meter := obs.From(ctx).Meter()
+	busy := meter.Gauge(prefix + "_workers_busy")
+	qwait := meter.Histogram(prefix + "_queue_wait_seconds")
+	jobsTotal := meter.Counter(prefix + "_jobs_total")
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var (
+		wg   sync.WaitGroup
+		jobs = make(chan job)
+		errs = make([]error, n)
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case j, ok := <-jobs:
+					if !ok {
+						return
+					}
+					qwait.ObserveSince(j.enq)
+					jobsTotal.Inc()
+					busy.Add(1)
+					err := work(ctx, j.i)
+					busy.Add(-1)
+					if err != nil {
+						errs[j.i] = err
+						cancel()
+					}
+				}
+			}
+		}()
+	}
+feed:
+	for i := 0; i < n; i++ {
+		j := job{i: i, enq: qwait.StartTimer()}
+		select {
+		case <-ctx.Done():
+			break feed
+		case jobs <- j:
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	if err := errors.Join(errs...); err != nil {
+		return err
+	}
+	return ctx.Err()
+}

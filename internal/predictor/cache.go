@@ -1,0 +1,109 @@
+package predictor
+
+import (
+	"context"
+	"errors"
+	"sync"
+
+	"hpcmetrics/internal/obs"
+)
+
+// entry is one cache slot. done is closed once the slot is settled;
+// val/err are written exactly once, before the close, so readers that
+// have observed the close may read them without the cache lock.
+type entry struct {
+	done chan struct{}
+	val  any
+	err  error
+}
+
+// cache is an exact-hit memoization table with request coalescing. The
+// first requester of an absent key becomes the leader and computes the
+// value synchronously under its own context — no detached goroutine, so
+// request deadlines propagate into the computation instead of being
+// laundered through a background context. Followers arriving while the
+// leader is in flight wait on the same slot (one computation for a
+// thundering herd); a follower whose own context expires gives up
+// without disturbing the leader.
+//
+// Values are cached forever — probes and trace signatures are
+// deterministic, so hits are exact. Errors are never cached: a failed
+// slot is removed before it settles, and later requests recompute. A
+// leader that fails because its *own* context was cancelled settles the
+// slot with that context error; waiting followers do not inherit it —
+// they loop and elect a new leader among themselves.
+type cache struct {
+	name string // obs metric stem, e.g. "predictor_predict_cache"
+
+	mu sync.Mutex
+	m  map[string]*entry // guarded by mu
+}
+
+func newCache(name string) *cache {
+	return &cache{name: name, m: make(map[string]*entry)}
+}
+
+// get returns the value for key, computing it via compute on a miss.
+// The second result reports whether the value came from the cache (a
+// settled hit or a coalesced wait) rather than from this caller's own
+// computation. Counters, resolved from ctx's obs registry (nil-safe):
+// <name>_hits_total, <name>_misses_total (this caller led the
+// computation), and <name>_coalesced_total (this caller waited on
+// another's in-flight computation).
+func (c *cache) get(ctx context.Context, key string, compute func(context.Context) (any, error)) (any, bool, error) {
+	meter := obs.From(ctx).Meter()
+	for {
+		if err := ctx.Err(); err != nil {
+			return nil, false, err
+		}
+		c.mu.Lock()
+		e, ok := c.m[key]
+		if !ok {
+			e = &entry{done: make(chan struct{})}
+			c.m[key] = e
+			c.mu.Unlock()
+			meter.Counter(c.name + "_misses_total").Inc()
+			e.val, e.err = compute(ctx)
+			if e.err != nil {
+				c.mu.Lock()
+				delete(c.m, key)
+				c.mu.Unlock()
+			}
+			close(e.done)
+			return e.val, false, e.err
+		}
+		c.mu.Unlock()
+
+		settled := false
+		select {
+		case <-e.done:
+			settled = true
+		default:
+			meter.Counter(c.name + "_coalesced_total").Inc()
+		}
+		if !settled {
+			select {
+			case <-ctx.Done():
+				return nil, false, ctx.Err()
+			case <-e.done:
+			}
+		}
+		if e.err == nil {
+			meter.Counter(c.name + "_hits_total").Inc()
+			return e.val, true, nil
+		}
+		if errors.Is(e.err, context.Canceled) || errors.Is(e.err, context.DeadlineExceeded) {
+			// The leader's own context died; its failure says nothing
+			// about the computation. Re-enter and elect a new leader.
+			continue
+		}
+		return nil, true, e.err
+	}
+}
+
+// size reports how many settled-or-in-flight keys the cache holds.
+func (c *cache) size() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.m)
+}

@@ -1,0 +1,50 @@
+package predictor
+
+import (
+	"context"
+
+	"hpcmetrics/internal/machine"
+	"hpcmetrics/internal/metrics"
+	"hpcmetrics/internal/obs"
+	"hpcmetrics/internal/probes"
+	"hpcmetrics/internal/simexec"
+	"hpcmetrics/internal/trace"
+	"hpcmetrics/internal/workload"
+)
+
+// Engine is the stateless compute core shared by the study harness, the
+// predict CLI, and the predictd server: every probe measurement,
+// ground-truth execution, trace collection, and metric prediction in the
+// module funnels through these four methods. The methods are exact
+// pass-throughs to the underlying packages — an Engine call is
+// byte-identical to calling the package directly — plus one obs counter
+// each, so a caller's registry shows how many underlying computations
+// actually ran. That counter is what the coalescing tests assert on: N
+// coalesced requests must move predictor_metric_runs_total by exactly 1.
+type Engine struct{}
+
+// Probes measures the full probe suite on one machine.
+func (Engine) Probes(ctx context.Context, cfg *machine.Config) (*probes.Results, error) {
+	obs.From(ctx).Meter().Counter("predictor_probe_runs_total").Inc()
+	return probes.MeasureContext(ctx, cfg)
+}
+
+// Execute runs an application on a machine at full model fidelity,
+// producing the ground-truth time-to-solution.
+func (Engine) Execute(ctx context.Context, cfg *machine.Config, app *workload.App) (*simexec.Result, error) {
+	obs.From(ctx).Meter().Counter("predictor_exec_runs_total").Inc()
+	return simexec.ExecuteContext(ctx, cfg, app)
+}
+
+// Trace collects an application's signature on the base system.
+func (Engine) Trace(ctx context.Context, base *machine.Config, app *workload.App) (*trace.Trace, error) {
+	obs.From(ctx).Meter().Counter("predictor_trace_runs_total").Inc()
+	return trace.CollectContext(ctx, base, app)
+}
+
+// PredictMetric applies one of the paper's nine metrics (the convolution
+// for predictive metrics, the benchmark ratio for simple ones).
+func (Engine) PredictMetric(ctx context.Context, m metrics.Metric, mc metrics.Context) (float64, error) {
+	obs.From(ctx).Meter().Counter("predictor_metric_runs_total").Inc()
+	return m.PredictContext(ctx, mc)
+}

@@ -1,0 +1,372 @@
+// Package predictor is the answer to the paper's procurement question as
+// a callable facade: "how fast will application X's test case C run on
+// machine Y at Z processors, by metric M?" — one stateless Engine shared
+// by the study harness, the predict CLI, and the predictd server, plus a
+// memoizing, coalescing Predictor built for concurrent serving.
+//
+// Probes and trace signatures are deterministic functions of their
+// inputs, so the Predictor caches them with exact hits, keyed
+// per-machine and per-(app, case, procs); full predictions and observed
+// ground truths are cached the same way. A thundering herd of identical
+// cold requests runs each underlying computation exactly once: the
+// first requester leads, the rest coalesce onto its in-flight slot (see
+// cache). Request deadlines propagate end to end — the leader computes
+// under its own request context, and a follower whose deadline expires
+// abandons the wait without cancelling anyone else's work.
+package predictor
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+
+	"hpcmetrics/internal/apps"
+	"hpcmetrics/internal/machine"
+	"hpcmetrics/internal/metrics"
+	"hpcmetrics/internal/par"
+	"hpcmetrics/internal/probes"
+	"hpcmetrics/internal/simexec"
+	"hpcmetrics/internal/trace"
+)
+
+// ErrBadRequest marks request-validation failures — unknown application,
+// case, machine, or metric, or an unusable processor count — so a server
+// can map them to 400 instead of 500. Test with errors.Is.
+var ErrBadRequest = errors.New("predictor: bad request")
+
+// Request names one prediction cell.
+type Request struct {
+	// App and Case name the test case ("avus", "standard"); an empty
+	// Case matches the application's first case, like the CLI.
+	App  string
+	Case string
+	// Procs is the processor count; 0 means the test case's middle
+	// (default) count.
+	Procs int
+	// Machine is the target system preset name.
+	Machine string
+	// MetricID is the paper Table 3 metric number (1-9).
+	MetricID int
+	// Observed additionally runs the ground-truth executor on the
+	// target, filling ObservedSeconds/SignedErrorPct when the job fits.
+	Observed bool
+}
+
+// Result is one answered prediction.
+type Result struct {
+	App     string `json:"app"`
+	Case    string `json:"case"`
+	Procs   int    `json:"procs"`
+	Machine string `json:"machine"`
+
+	MetricID    int    `json:"metric"`
+	MetricLabel string `json:"metric_label"`
+	MetricName  string `json:"metric_name"`
+
+	// BaseMachine and BaseSeconds anchor the prediction: the observed
+	// runtime on the base system that every metric scales from.
+	BaseMachine string  `json:"base_machine"`
+	BaseSeconds float64 `json:"base_seconds"`
+
+	// PredictedSeconds is the metric's runtime prediction on Machine.
+	PredictedSeconds float64 `json:"predicted_seconds"`
+
+	// Fits reports whether the job fits on the machine at all; a
+	// prediction is still produced for an oversized job (the paper's
+	// blank appendix cells), there is just no ground truth to check.
+	Fits bool `json:"fits"`
+	// ObservedSeconds and SignedErrorPct carry the ground truth and the
+	// paper's Equation 2 error; valid only when HasObserved.
+	HasObserved     bool    `json:"has_observed"`
+	ObservedSeconds float64 `json:"observed_seconds,omitempty"`
+	SignedErrorPct  float64 `json:"signed_error_pct,omitempty"`
+
+	// Cached reports whether the prediction itself came from the exact
+	// cache (or a coalesced wait on another request's computation)
+	// rather than being convolved by this request.
+	Cached bool `json:"cached"`
+}
+
+// RankRequest asks for machines ordered fastest-first for one cell.
+type RankRequest struct {
+	App      string
+	Case     string
+	Procs    int
+	MetricID int
+	// Machines restricts and orders the candidate set; empty means the
+	// study's ten target systems.
+	Machines []string
+	// Observed fills ground truths for every ranked machine.
+	Observed bool
+}
+
+// Ranking is a rank response: entries sorted by predicted runtime,
+// fastest first, ties broken by machine name.
+type Ranking struct {
+	App         string    `json:"app"`
+	Case        string    `json:"case"`
+	Procs       int       `json:"procs"`
+	MetricID    int       `json:"metric"`
+	MetricLabel string    `json:"metric_label"`
+	Entries     []*Result `json:"ranking"`
+}
+
+// cellValue is the memoized per-(app, case, procs) work: the base-system
+// ground truth and the trace, the two artifacts the paper stresses are
+// collected "only once per application".
+type cellValue struct {
+	baseSeconds float64
+	tr          *trace.Trace
+}
+
+// observation is the memoized per-(cell, machine) ground truth.
+type observation struct {
+	seconds float64
+	fits    bool
+}
+
+// Predictor serves predictions through the shared Engine with exact-hit
+// memoization and request coalescing on every deterministic layer:
+// probe suites per machine, (base run, trace) per cell, predictions per
+// (cell, machine, metric), and ground truths per (cell, machine).
+// Goroutine-safe; build with New.
+type Predictor struct {
+	eng     Engine
+	base    *machine.Config
+	workers int
+
+	probeCache   *cache
+	cellCache    *cache
+	predictCache *cache
+	observeCache *cache
+}
+
+// Config tunes a Predictor.
+type Config struct {
+	// Workers bounds Rank's per-machine fan-out; 0 means GOMAXPROCS.
+	Workers int
+}
+
+// New returns a Predictor with empty caches, anchored to the study's
+// base system.
+func New(cfg Config) *Predictor {
+	return &Predictor{
+		base:         machine.Base(),
+		workers:      cfg.Workers,
+		probeCache:   newCache("predictor_probe_cache"),
+		cellCache:    newCache("predictor_cell_cache"),
+		predictCache: newCache("predictor_predict_cache"),
+		observeCache: newCache("predictor_observe_cache"),
+	}
+}
+
+// Engine returns the predictor's compute core — the same Engine the
+// study harness and the CLI use directly.
+func (p *Predictor) Engine() Engine { return p.eng }
+
+// resolved is a validated request.
+type resolved struct {
+	tc     apps.TestCase
+	procs  int
+	target *machine.Config
+	metric metrics.Metric
+}
+
+func (p *Predictor) resolve(app, caseName string, procs int, machineName string, metricID int) (resolved, error) {
+	var r resolved
+	tc, err := apps.Lookup(app, caseName)
+	if err != nil {
+		return r, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	if procs == 0 {
+		if procs, err = tc.DefaultProcs(); err != nil {
+			return r, fmt.Errorf("%w: %v", ErrBadRequest, err)
+		}
+	}
+	if procs < 1 {
+		return r, fmt.Errorf("%w: procs %d, want >= 1", ErrBadRequest, procs)
+	}
+	target, err := machine.Preset(machineName)
+	if err != nil {
+		return r, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	m, err := metrics.ByID(metricID)
+	if err != nil {
+		return r, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	return resolved{tc: tc, procs: procs, target: target, metric: m}, nil
+}
+
+// probesFor returns the machine's memoized probe suite.
+func (p *Predictor) probesFor(ctx context.Context, cfg *machine.Config) (*probes.Results, error) {
+	v, _, err := p.probeCache.get(ctx, cfg.Name, func(ctx context.Context) (any, error) {
+		return p.eng.Probes(ctx, cfg)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*probes.Results), nil
+}
+
+// cellFor returns the cell's memoized base run and trace.
+func (p *Predictor) cellFor(ctx context.Context, tc apps.TestCase, procs int) (cellValue, error) {
+	key := fmt.Sprintf("%s@%d", tc.ID(), procs)
+	v, _, err := p.cellCache.get(ctx, key, func(ctx context.Context) (any, error) {
+		app, err := tc.Instance(procs)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
+		}
+		run, err := p.eng.Execute(ctx, p.base, app)
+		if err != nil {
+			return nil, err
+		}
+		tr, err := p.eng.Trace(ctx, p.base, app)
+		if err != nil {
+			return nil, err
+		}
+		return cellValue{baseSeconds: run.Seconds, tr: tr}, nil
+	})
+	if err != nil {
+		return cellValue{}, err
+	}
+	return v.(cellValue), nil
+}
+
+// observeFor returns the cell's memoized ground truth on one machine.
+func (p *Predictor) observeFor(ctx context.Context, tc apps.TestCase, procs int, target *machine.Config) (observation, error) {
+	key := fmt.Sprintf("%s@%d|%s", tc.ID(), procs, target.Name)
+	v, _, err := p.observeCache.get(ctx, key, func(ctx context.Context) (any, error) {
+		app, err := tc.Instance(procs)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
+		}
+		run, err := p.eng.Execute(ctx, target, app)
+		if errors.Is(err, simexec.ErrTooLarge) {
+			return observation{}, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		return observation{seconds: run.Seconds, fits: true}, nil
+	})
+	if err != nil {
+		return observation{}, err
+	}
+	return v.(observation), nil
+}
+
+// Predict answers one request. Identical concurrent cold requests are
+// coalesced: the probe suites, the base run + trace, and the prediction
+// itself each run exactly once.
+func (p *Predictor) Predict(ctx context.Context, req Request) (*Result, error) {
+	r, err := p.resolve(req.App, req.Case, req.Procs, req.Machine, req.MetricID)
+	if err != nil {
+		return nil, err
+	}
+	basePr, err := p.probesFor(ctx, p.base)
+	if err != nil {
+		return nil, err
+	}
+	targetPr, err := p.probesFor(ctx, r.target)
+	if err != nil {
+		return nil, err
+	}
+	cell, err := p.cellFor(ctx, r.tc, r.procs)
+	if err != nil {
+		return nil, err
+	}
+	predKey := fmt.Sprintf("%s@%d|%s|%d", r.tc.ID(), r.procs, r.target.Name, r.metric.ID)
+	v, cached, err := p.predictCache.get(ctx, predKey, func(ctx context.Context) (any, error) {
+		return p.eng.PredictMetric(ctx, r.metric, metrics.Context{
+			Trace: cell.tr, Base: basePr, Target: targetPr, BaseSeconds: cell.baseSeconds,
+		})
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		App: r.tc.Name, Case: r.tc.Case, Procs: r.procs, Machine: r.target.Name,
+		MetricID: r.metric.ID, MetricLabel: r.metric.Label(), MetricName: r.metric.Name,
+		BaseMachine: p.base.Name, BaseSeconds: cell.baseSeconds,
+		PredictedSeconds: v.(float64),
+		Fits:             r.procs <= r.target.TotalProcs,
+		Cached:           cached,
+	}
+	if req.Observed {
+		o, err := p.observeFor(ctx, r.tc, r.procs, r.target)
+		if err != nil {
+			return nil, err
+		}
+		if o.fits {
+			res.HasObserved = true
+			res.ObservedSeconds = o.seconds
+			res.SignedErrorPct = metrics.SignedError(res.PredictedSeconds, o.seconds)
+		}
+		res.Fits = o.fits
+	}
+	return res, nil
+}
+
+// Rank predicts the cell on every candidate machine — fanned out on the
+// shared ctx-aware worker pool, bounded by Config.Workers — and returns
+// the machines ordered fastest-first by predicted runtime.
+func (p *Predictor) Rank(ctx context.Context, req RankRequest) (*Ranking, error) {
+	names := req.Machines
+	if len(names) == 0 {
+		for _, cfg := range machine.StudyTargets() {
+			names = append(names, cfg.Name)
+		}
+	}
+	// Validate the whole request up front so a bad machine name is a
+	// clean ErrBadRequest, not a joined pool error.
+	r, err := p.resolve(req.App, req.Case, req.Procs, names[0], req.MetricID)
+	if err != nil {
+		return nil, err
+	}
+	for _, name := range names[1:] {
+		if _, err := machine.Preset(name); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
+		}
+	}
+	entries := make([]*Result, len(names))
+	err = par.ForEachIndexed(ctx, len(names), p.workers, "predictor", func(ctx context.Context, i int) error {
+		res, err := p.Predict(ctx, Request{
+			App: req.App, Case: req.Case, Procs: req.Procs,
+			Machine: names[i], MetricID: req.MetricID, Observed: req.Observed,
+		})
+		if err != nil {
+			return fmt.Errorf("rank %s: %w", names[i], err)
+		}
+		entries[i] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.SliceStable(entries, func(i, j int) bool {
+		if entries[i].PredictedSeconds < entries[j].PredictedSeconds {
+			return true
+		}
+		if entries[j].PredictedSeconds < entries[i].PredictedSeconds {
+			return false
+		}
+		return entries[i].Machine < entries[j].Machine
+	})
+	return &Ranking{
+		App: r.tc.Name, Case: r.tc.Case, Procs: r.procs,
+		MetricID: r.metric.ID, MetricLabel: r.metric.Label(),
+		Entries: entries,
+	}, nil
+}
+
+// CacheSizes reports how many keys each memoization layer holds, for
+// introspection endpoints and tests.
+func (p *Predictor) CacheSizes() map[string]int {
+	return map[string]int{
+		"probes":       p.probeCache.size(),
+		"cells":        p.cellCache.size(),
+		"predictions":  p.predictCache.size(),
+		"observations": p.observeCache.size(),
+	}
+}

@@ -1,0 +1,322 @@
+package predictor
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+	"time"
+
+	"hpcmetrics/internal/apps"
+	"hpcmetrics/internal/machine"
+	"hpcmetrics/internal/metrics"
+	"hpcmetrics/internal/obs"
+)
+
+// herdRequest is the cell every heavy test in this file predicts: the
+// study's cheapest cell, so the suite pays for one base run + trace.
+var herdRequest = Request{App: "rfcth", Case: "standard", Procs: 16, Machine: machine.ARLOpteron, MetricID: 9}
+
+// TestPredictCoalescesColdHerd is the PR's acceptance test: N identical
+// concurrent requests against cold caches must run every underlying
+// computation exactly once — one base execution, one trace, one metric
+// convolution, one probe suite per machine — counter-asserted through
+// the obs registry the Engine reports into.
+func TestPredictCoalescesColdHerd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("probes two machines and runs a base execution + trace")
+	}
+	const herd = 8
+	o := obs.New()
+	ctx := o.Inject(context.Background())
+	p := New(Config{})
+
+	results := make([]*Result, herd)
+	errs := make([]error, herd)
+	var wg sync.WaitGroup
+	var gun sync.WaitGroup
+	gun.Add(1)
+	for i := 0; i < herd; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			gun.Wait()
+			results[i], errs[i] = p.Predict(ctx, herdRequest)
+		}(i)
+	}
+	gun.Done()
+	wg.Wait()
+
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+	}
+	want := math.Float64bits(results[0].PredictedSeconds)
+	for i, res := range results {
+		if math.Float64bits(res.PredictedSeconds) != want {
+			t.Errorf("request %d predicted %v, request 0 predicted %v: cache hits are not exact",
+				i, res.PredictedSeconds, results[0].PredictedSeconds)
+		}
+	}
+
+	meter := o.Metrics
+	for name, want := range map[string]int64{
+		"predictor_probe_runs_total":           2, // base + target, once each
+		"predictor_exec_runs_total":            1, // the base run; no ground truth requested
+		"predictor_trace_runs_total":           1,
+		"predictor_metric_runs_total":          1, // the convolution the herd coalesced onto
+		"predictor_predict_cache_misses_total": 1,
+	} {
+		if got := meter.Counter(name).Value(); got != want {
+			t.Errorf("%s = %d, want %d", name, got, want)
+		}
+	}
+	followers := meter.Counter("predictor_predict_cache_hits_total").Value() +
+		meter.Counter("predictor_predict_cache_coalesced_total").Value()
+	if followers != herd-1 {
+		t.Errorf("prediction hits+coalesced = %d, want %d (every non-leader)", followers, herd-1)
+	}
+
+	// A later identical request is an exact cache hit, flagged as such,
+	// and moves no run counter.
+	res, err := p.Predict(ctx, herdRequest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Cached {
+		t.Error("repeat request not reported as cached")
+	}
+	if math.Float64bits(res.PredictedSeconds) != want {
+		t.Errorf("cached prediction %v differs from cold %v", res.PredictedSeconds, results[0].PredictedSeconds)
+	}
+	if got := meter.Counter("predictor_metric_runs_total").Value(); got != 1 {
+		t.Errorf("repeat request ran the metric again: predictor_metric_runs_total = %d", got)
+	}
+
+	// Parity with the CLI path: cmd/predict drives the same Engine
+	// methods directly (probe, execute, trace, predict); the facade's
+	// cached answer must match that computation bit for bit.
+	var eng Engine
+	base := machine.Base()
+	target, err := machine.Preset(herdRequest.Machine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc, err := apps.Lookup(herdRequest.App, herdRequest.Case)
+	if err != nil {
+		t.Fatal(err)
+	}
+	app, err := tc.Instance(herdRequest.Procs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	basePr, err := eng.Probes(ctx, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	targetPr, err := eng.Probes(ctx, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseRun, err := eng.Execute(ctx, base, app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := eng.Trace(ctx, base, app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := metrics.ByID(herdRequest.MetricID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := eng.PredictMetric(ctx, m, metrics.Context{
+		Trace: tr, Base: basePr, Target: targetPr, BaseSeconds: baseRun.Seconds,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Float64bits(direct) != want {
+		t.Errorf("direct Engine computation %v differs from facade's cached %v", direct, res.PredictedSeconds)
+	}
+}
+
+// TestRankOrdersFastestFirst ranks the cell across three systems and
+// checks ordering plus the shared-cache effect: the cell's base run and
+// trace are computed once, not once per machine.
+func TestRankOrdersFastestFirst(t *testing.T) {
+	if testing.Short() {
+		t.Skip("probes four machines and runs a base execution + trace")
+	}
+	o := obs.New()
+	ctx := o.Inject(context.Background())
+	p := New(Config{Workers: 3})
+	machines := []string{machine.ARLOpteron, machine.MHPCCPower3, machine.ASCSC45}
+	ranking, err := p.Rank(ctx, RankRequest{
+		App: "rfcth", Case: "standard", Procs: 16, MetricID: 1, Machines: machines,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ranking.Entries) != len(machines) {
+		t.Fatalf("ranking has %d entries, want %d", len(ranking.Entries), len(machines))
+	}
+	for i := 1; i < len(ranking.Entries); i++ {
+		if ranking.Entries[i-1].PredictedSeconds > ranking.Entries[i].PredictedSeconds {
+			t.Errorf("ranking not sorted: entry %d (%s, %.0fs) slower than entry %d (%s, %.0fs)",
+				i-1, ranking.Entries[i-1].Machine, ranking.Entries[i-1].PredictedSeconds,
+				i, ranking.Entries[i].Machine, ranking.Entries[i].PredictedSeconds)
+		}
+	}
+	if got := o.Metrics.Counter("predictor_trace_runs_total").Value(); got != 1 {
+		t.Errorf("rank traced the cell %d times, want 1 (shared across machines)", got)
+	}
+	if got := o.Metrics.Counter("predictor_metric_runs_total").Value(); got != int64(len(machines)) {
+		t.Errorf("rank ran %d metric predictions, want %d (one per machine)", got, len(machines))
+	}
+}
+
+// TestResolveRejectsBadRequests: every invalid field maps to
+// ErrBadRequest so the server can blame the client, not itself.
+func TestResolveRejectsBadRequests(t *testing.T) {
+	p := New(Config{})
+	cases := []struct {
+		name string
+		req  Request
+	}{
+		{"unknown app", Request{App: "nonesuch", Machine: machine.ARLOpteron, MetricID: 9}},
+		{"unknown case", Request{App: "avus", Case: "huge", Machine: machine.ARLOpteron, MetricID: 9}},
+		{"unknown machine", Request{App: "avus", Machine: "CRAY_XMP", MetricID: 9}},
+		{"unknown metric", Request{App: "avus", Machine: machine.ARLOpteron, MetricID: 10}},
+		{"negative procs", Request{App: "avus", Procs: -4, Machine: machine.ARLOpteron, MetricID: 9}},
+	}
+	for _, c := range cases {
+		if _, err := p.Predict(context.Background(), c.req); !errors.Is(err, ErrBadRequest) {
+			t.Errorf("%s: err = %v, want ErrBadRequest", c.name, err)
+		}
+	}
+	if _, err := p.Rank(context.Background(), RankRequest{
+		App: "avus", MetricID: 9, Machines: []string{machine.ARLOpteron, "CRAY_XMP"},
+	}); !errors.Is(err, ErrBadRequest) {
+		t.Errorf("rank with one bad machine: err = %v, want ErrBadRequest", err)
+	}
+}
+
+// --- cache mechanics (no simulation, all synthetic computes) ---
+
+// TestCacheDoesNotCacheErrors: a failed computation leaves no residue;
+// the next request recomputes and can succeed.
+func TestCacheDoesNotCacheErrors(t *testing.T) {
+	c := newCache("t")
+	ctx := context.Background()
+	calls := 0
+	boom := errors.New("boom")
+	if _, _, err := c.get(ctx, "k", func(context.Context) (any, error) {
+		calls++
+		return nil, boom
+	}); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	v, cached, err := c.get(ctx, "k", func(context.Context) (any, error) {
+		calls++
+		return 42, nil
+	})
+	if err != nil || v.(int) != 42 || cached {
+		t.Fatalf("second get = (%v, cached=%v, %v), want fresh 42", v, cached, err)
+	}
+	if calls != 2 {
+		t.Fatalf("compute ran %d times, want 2 (error not cached)", calls)
+	}
+	if c.size() != 1 {
+		t.Fatalf("cache holds %d keys, want 1", c.size())
+	}
+}
+
+// TestCacheFollowerSurvivesLeaderCancellation: the leader's own deadline
+// dying must not fail the followers coalesced behind it — they elect a
+// new leader and still get an answer.
+func TestCacheFollowerSurvivesLeaderCancellation(t *testing.T) {
+	c := newCache("t")
+	lctx, lcancel := context.WithCancel(context.Background())
+	started := make(chan struct{})
+	leaderDone := make(chan error, 1)
+	go func() {
+		_, _, err := c.get(lctx, "k", func(ctx context.Context) (any, error) {
+			close(started)
+			<-ctx.Done()
+			return nil, ctx.Err()
+		})
+		leaderDone <- err
+	}()
+	<-started
+
+	followerDone := make(chan struct{})
+	var fv any
+	var ferr error
+	go func() {
+		defer close(followerDone)
+		fv, _, ferr = c.get(context.Background(), "k", func(context.Context) (any, error) {
+			return "recovered", nil
+		})
+	}()
+	// Let the follower reach its wait before the leader dies; the exact
+	// interleaving does not matter for correctness, only for making the
+	// coalesced path likely.
+	time.Sleep(10 * time.Millisecond)
+	lcancel()
+
+	if err := <-leaderDone; !errors.Is(err, context.Canceled) {
+		t.Fatalf("leader err = %v, want context.Canceled", err)
+	}
+	select {
+	case <-followerDone:
+	case <-time.After(5 * time.Second):
+		t.Fatal("follower hung after leader cancellation")
+	}
+	if ferr != nil || fv.(string) != "recovered" {
+		t.Fatalf("follower = (%v, %v), want recovered", fv, ferr)
+	}
+}
+
+// TestCacheWaiterHonorsOwnDeadline: a follower whose own context expires
+// abandons the wait with its context's error, leaving the leader alone.
+func TestCacheWaiterHonorsOwnDeadline(t *testing.T) {
+	c := newCache("t")
+	started := make(chan struct{})
+	release := make(chan struct{})
+	leaderDone := make(chan struct{})
+	go func() {
+		defer close(leaderDone)
+		_, _, err := c.get(context.Background(), "k", func(context.Context) (any, error) {
+			close(started)
+			<-release
+			return "slow", nil
+		})
+		if err != nil {
+			t.Errorf("leader err = %v", err)
+		}
+	}()
+	<-started
+
+	fctx, fcancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer fcancel()
+	_, _, err := c.get(fctx, "k", func(context.Context) (any, error) {
+		return nil, fmt.Errorf("follower must not lead")
+	})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("follower err = %v, want DeadlineExceeded", err)
+	}
+	close(release)
+	<-leaderDone
+
+	// The leader's value settled and is served as a hit.
+	v, cached, err := c.get(context.Background(), "k", func(context.Context) (any, error) {
+		return nil, fmt.Errorf("must hit")
+	})
+	if err != nil || !cached || v.(string) != "slow" {
+		t.Fatalf("post-settle get = (%v, cached=%v, %v), want cached slow", v, cached, err)
+	}
+}

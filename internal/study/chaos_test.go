@@ -19,6 +19,7 @@ import (
 
 	"hpcmetrics/internal/faults"
 	"hpcmetrics/internal/obs"
+	"hpcmetrics/internal/persist"
 )
 
 // chaosSlice is a 1-app × 2-machine slice: big enough to exercise every
@@ -272,6 +273,41 @@ func TestStudyResumeRejectsDifferentOptions(t *testing.T) {
 	b := Options{Apps: []string{"rfcth-standard"}, Targets: []string{"ARL_Opteron"}, CheckpointPath: path, Resume: true}
 	if _, err := Run(b); err == nil || !strings.Contains(err.Error(), "different options") {
 		t.Errorf("resume into a different grid returned %v, want an options-tag error", err)
+	}
+}
+
+// TestStudyResumeRejectsDifferentFaultSeed: the options fingerprint must
+// cover the fault plan — resuming a fault-injected study under a
+// different seed would splice cells from two different experiments into
+// one results table. The checkpoint header is written directly (no study
+// run needed: the rejection happens at journal open, before any cell
+// computes), which keeps this test cheap enough for the race suite.
+func TestStudyResumeRejectsDifferentFaultSeed(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "study.ckpt")
+	a := Options{
+		Apps: []string{"avus-standard"}, Targets: []string{"ARL_Opteron"},
+		CheckpointPath: path, Faults: faults.New(1),
+	}
+	if _, err := persist.CreateCheckpoint(path, a.optionsTag()); err != nil {
+		t.Fatal(err)
+	}
+	b := a
+	b.Faults = faults.New(2)
+	b.Resume = true
+	if _, err := Run(b); err == nil || !strings.Contains(err.Error(), "different options") {
+		t.Errorf("resume under a different fault seed returned %v, want an options-tag error", err)
+	}
+	rule := faults.Rule{Point: faults.PointExecBlock, Kind: faults.Transient, Rate: 1}
+	c := a
+	c.Faults = faults.New(1, rule)
+	c.Resume = true
+	if _, err := Run(c); err == nil || !strings.Contains(err.Error(), "different options") {
+		t.Errorf("resume under an added fault rule returned %v, want an options-tag error", err)
+	}
+	// The identical fault plan opens the journal cleanly (full-resume
+	// round-trips are covered by TestStudyCheckpointResume).
+	if _, err := persist.OpenCheckpoint(path, a.optionsTag()); err != nil {
+		t.Errorf("identical fault plan rejected at journal open: %v", err)
 	}
 }
 

@@ -15,7 +15,6 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"runtime"
 	"sort"
 	"strconv"
 	"strings"
@@ -27,7 +26,9 @@ import (
 	"hpcmetrics/internal/machine"
 	"hpcmetrics/internal/metrics"
 	"hpcmetrics/internal/obs"
+	"hpcmetrics/internal/par"
 	"hpcmetrics/internal/persist"
+	"hpcmetrics/internal/predictor"
 	"hpcmetrics/internal/probes"
 	"hpcmetrics/internal/retry"
 	"hpcmetrics/internal/simexec"
@@ -247,14 +248,21 @@ func skipReasonFor(err error) SkipReason {
 	return SkipError
 }
 
-// optionsTag fingerprints the options that shape the study grid. A
-// checkpoint journal records it so a resume into a different grid (or a
-// different noise/ablation setting) fails loudly instead of splicing
-// incompatible results together.
+// optionsTag fingerprints every option that changes what a cell record
+// holds, so a resume into a different grid — or under a different
+// ablation, fault configuration, retry budget, or attempt deadline —
+// fails loudly instead of splicing incompatible results together.
+// Attempts and timeout are included because they shape the journaled
+// records too: a cell skipped under a tight budget would otherwise be
+// replayed verbatim into a run whose budget would have let it succeed.
+// Options that only affect scheduling or reporting (Workers, Progress,
+// Obs, the checkpoint controls themselves) stay out, so a resume may
+// freely change them.
 func (o Options) optionsTag() string {
-	return fmt.Sprintf("apps=%s;targets=%s;noise=%t;idle=%t;nodeps=%t",
+	return fmt.Sprintf("apps=%s;targets=%s;noise=%t;idle=%t;nodeps=%t;attempts=%d;timeout=%s;faults=%s",
 		strings.Join(o.Apps, ","), strings.Join(o.Targets, ","),
-		o.DisableNoise, o.IdleMemory, o.NoDependencyFlags)
+		o.DisableNoise, o.IdleMemory, o.NoDependencyFlags,
+		o.MaxAttempts, o.CellTimeout, o.Faults.Fingerprint())
 }
 
 // idle returns the machine with its loaded-memory gap removed, for the
@@ -312,85 +320,19 @@ func (l *progressLog) logf(format string, args ...any) {
 	fmt.Fprintf(l.w, format+"\n", args...)
 }
 
-// poolJob is one unit of forEachIndexed work; enq carries the enqueue
-// time only when queue-wait tracking is on, so the disabled path stamps
-// nothing.
-type poolJob struct {
-	i   int
-	enq time.Time
-}
+// engine is the shared compute facade (internal/predictor): the study,
+// the predict CLI, and the predictd server all run their probe,
+// execution, trace, and metric computations through the same Engine, so
+// a number produced by any one of them is byte-identical to the others'.
+var engine predictor.Engine
 
-// forEachIndexed runs work(ctx, i) for every i in [0, n) on a worker pool
-// bounded by workers (0 means GOMAXPROCS). Determinism comes from indexed
-// slots: each worker writes only to its own index, so the caller's
-// aggregation order — and therefore the study's output bytes — does not
-// depend on scheduling. On failure every worker error is reported,
-// joined lowest index first, so a multi-cell failure is fully visible;
-// remaining work is cancelled. A cancelled ctx stops dispatch and is
-// returned as ctx.Err().
-//
-// When ctx carries an obs registry, the pool reports itself: the
+// forEachIndexed is the study's view of the shared ctx-aware worker pool
+// (internal/par), reporting under the study_* metric names: the
 // study_workers_busy gauge tracks occupancy (its peak is the effective
 // parallelism), study_queue_wait_seconds records how long each job sat
 // between enqueue and pickup, and study_jobs_total counts dispatches.
 func forEachIndexed(ctx context.Context, n, workers int, work func(ctx context.Context, i int) error) error {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > n {
-		workers = n
-	}
-	meter := obs.From(ctx).Meter()
-	busy := meter.Gauge("study_workers_busy")
-	qwait := meter.Histogram("study_queue_wait_seconds")
-	jobsTotal := meter.Counter("study_jobs_total")
-	ctx, cancel := context.WithCancel(ctx)
-	defer cancel()
-	var (
-		wg   sync.WaitGroup
-		jobs = make(chan poolJob)
-		errs = make([]error, n)
-	)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				select {
-				case <-ctx.Done():
-					return
-				case j, ok := <-jobs:
-					if !ok {
-						return
-					}
-					qwait.ObserveSince(j.enq)
-					jobsTotal.Inc()
-					busy.Add(1)
-					err := work(ctx, j.i)
-					busy.Add(-1)
-					if err != nil {
-						errs[j.i] = err
-						cancel()
-					}
-				}
-			}
-		}()
-	}
-feed:
-	for i := 0; i < n; i++ {
-		j := poolJob{i: i, enq: qwait.StartTimer()}
-		select {
-		case <-ctx.Done():
-			break feed
-		case jobs <- j:
-		}
-	}
-	close(jobs)
-	wg.Wait()
-	if err := errors.Join(errs...); err != nil {
-		return err
-	}
-	return ctx.Err()
+	return par.ForEachIndexed(ctx, n, workers, "study", work)
 }
 
 // Run executes the full study.
@@ -462,7 +404,7 @@ func RunContext(ctx context.Context, opts Options) (*Results, error) {
 		var pr *probes.Results
 		_, err := retry.Do(ctx, rp, "probe|"+name, func(ctx context.Context) error {
 			var err error
-			pr, err = probes.MeasureContext(ctx, all[i])
+			pr, err = engine.Probes(ctx, all[i])
 			return err
 		})
 		if err != nil {
@@ -616,7 +558,7 @@ func RunContext(ctx context.Context, opts Options) (*Results, error) {
 
 		var baseRun *simexec.Result
 		attempts, err := runUnit("base|"+key.String(), func(ctx context.Context) error {
-			r, err := simexec.ExecuteContext(ctx, execTarget(base), app)
+			r, err := engine.Execute(ctx, execTarget(base), app)
 			baseRun = r
 			return err
 		})
@@ -629,7 +571,7 @@ func RunContext(ctx context.Context, opts Options) (*Results, error) {
 		if !failed {
 			var tr *trace.Trace
 			attempts, err = runUnit("trace|"+key.String(), func(ctx context.Context) error {
-				t, err := trace.CollectContext(ctx, base, app)
+				t, err := engine.Trace(ctx, base, app)
 				tr = t
 				return err
 			})
@@ -653,7 +595,7 @@ func RunContext(ctx context.Context, opts Options) (*Results, error) {
 			for _, cfg := range targets {
 				var run *simexec.Result
 				attempts, err := runUnit("observe|"+key.String()+"|"+cfg.Name, func(ctx context.Context) error {
-					r, err := simexec.ExecuteContext(ctx, execTarget(cfg), app)
+					r, err := engine.Execute(ctx, execTarget(cfg), app)
 					run = r
 					return err
 				})
@@ -730,7 +672,7 @@ func RunContext(ctx context.Context, opts Options) (*Results, error) {
 					continue
 				}
 				t0 := predictLatency.StartTimer()
-				pred, err := m.PredictContext(mctx, metrics.Context{
+				pred, err := engine.PredictMetric(mctx, m, metrics.Context{
 					Trace:       res.Traces[key],
 					Base:        basePr,
 					Target:      res.Probes[name],
