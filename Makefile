@@ -97,41 +97,81 @@ chaos:
 		> chaos-out/tables.csv
 	$(GO) run ./cmd/tracecheck chaos-out/spans.jsonl chaos-out/manifest.json chaos-out/metrics.prom
 
-# predictd-smoke boots the prediction server on an ephemeral port, waits
-# for the -ready-file handshake, exercises /healthz, /v1/predict (cold,
-# then cached), /v1/rank, and /metrics with curl into
-# predictd-smoke-out/, then shuts the server down with SIGTERM and
-# requires a clean drain ("predictd: drained and stopped" in the log).
-# The cached re-request must carry "cached": true — the smoke fails if
-# memoization broke. CI uploads the directory as an artifact.
+# predictd-smoke boots the prediction server on an ephemeral port with
+# span + access logs enabled, waits for the -ready-file handshake, and
+# exercises the serving surface with curl into predictd-smoke-out/:
+# /healthz, a cold /v1/predict carrying a caller traceparent (the trace
+# must round-trip into the access log), the cached re-request ("cached":
+# true or the smoke fails), an If-None-Match revalidation that must come
+# back 304, two concurrent herds on fresh cells (for coalesced
+# followers), /v1/rank, /v1/status, and /metrics. After a SIGTERM drain
+# ("predictd: drained and stopped" in the log), tracecheck -serve
+# cross-validates the span/access log pair and requires the run to have
+# demonstrated the cold/cached/coalesced outcome triple. CI uploads the
+# directory as an artifact.
 predictd-smoke:
 	mkdir -p predictd-smoke-out
 	rm -f predictd-smoke-out/addr
 	$(GO) build -o predictd-smoke-out/predictd ./cmd/predictd
-	./predictd-smoke-out/predictd -addr 127.0.0.1:0 \
+	$(GO) build -o predictd-smoke-out/tracecheck ./cmd/tracecheck
+	./predictd-smoke-out/predictd -addr 127.0.0.1:0 -workers 8 \
 		-ready-file predictd-smoke-out/addr \
+		-spans predictd-smoke-out/spans.jsonl \
+		-access-log predictd-smoke-out/access.jsonl \
 		2> predictd-smoke-out/server.log & \
 	pid=$$!; \
 	for i in $$(seq 1 100); do [ -s predictd-smoke-out/addr ] && break; sleep 0.1; done; \
 	[ -s predictd-smoke-out/addr ] || { echo "predictd never wrote its ready file"; kill $$pid; exit 1; }; \
 	addr=$$(cat predictd-smoke-out/addr); \
+	trace=deadbeefdeadbeefdeadbeefdeadbeef; \
 	set -e; \
 	curl -fsS "http://$$addr/healthz" > predictd-smoke-out/healthz.json; \
-	curl -fsS "http://$$addr/v1/predict?app=rfcth&procs=16&target=ARL_Opteron&metric=9" \
+	curl -fsS -D predictd-smoke-out/predict-cold.headers \
+		-H "traceparent: 00-$$trace-00f067aa0ba902b7-01" \
+		"http://$$addr/v1/predict?app=rfcth&procs=16&target=ARL_Opteron&metric=9" \
 		> predictd-smoke-out/predict-cold.json; \
-	curl -fsS "http://$$addr/v1/predict?app=rfcth&procs=16&target=ARL_Opteron&metric=9" \
+	tr -d '\r' < predictd-smoke-out/predict-cold.headers | grep -iq "^traceparent: 00-$$trace-" || \
+		{ echo "server did not echo the caller traceparent"; kill $$pid; exit 1; }; \
+	curl -fsS -D predictd-smoke-out/predict-cached.headers \
+		"http://$$addr/v1/predict?app=rfcth&procs=16&target=ARL_Opteron&metric=9" \
 		> predictd-smoke-out/predict-cached.json; \
 	grep -q '"cached": true' predictd-smoke-out/predict-cached.json || \
 		{ echo "repeat request was not served from cache"; kill $$pid; exit 1; }; \
+	etag=$$(tr -d '\r' < predictd-smoke-out/predict-cached.headers | awk -F': ' 'tolower($$1)=="etag"{print $$2}'); \
+	[ -n "$$etag" ] || { echo "predict response carried no ETag"; kill $$pid; exit 1; }; \
+	code=$$(curl -s -o /dev/null -w '%{http_code}' -H "If-None-Match: $$etag" \
+		"http://$$addr/v1/predict?app=rfcth&procs=16&target=ARL_Opteron&metric=9"); \
+	[ "$$code" = "304" ] || { echo "If-None-Match revalidation returned $$code, want 304"; kill $$pid; exit 1; }; \
+	hpids=""; \
+	for i in 1 2 3 4; do \
+		curl -fsS "http://$$addr/v1/predict?app=rfcth&procs=32&target=ARL_Opteron&metric=9" \
+			> predictd-smoke-out/herd32-$$i.json & hpids="$$hpids $$!"; \
+	done; \
+	for i in 1 2 3 4; do \
+		curl -fsS "http://$$addr/v1/predict?app=rfcth&procs=64&target=ARL_Opteron&metric=9" \
+			> predictd-smoke-out/herd64-$$i.json & hpids="$$hpids $$!"; \
+	done; \
+	wait $$hpids; \
 	curl -fsS "http://$$addr/v1/rank?app=rfcth&procs=16&metric=9&targets=ARL_Opteron,MHPCC_P3" \
 		> predictd-smoke-out/rank.json; \
+	curl -fsS "http://$$addr/v1/status" > predictd-smoke-out/status.json; \
+	grep -q '"uptime_seconds"' predictd-smoke-out/status.json || \
+		{ echo "/v1/status missing uptime"; kill $$pid; exit 1; }; \
+	grep -q '"caches"' predictd-smoke-out/status.json || \
+		{ echo "/v1/status missing cache stats"; kill $$pid; exit 1; }; \
 	curl -fsS "http://$$addr/metrics" > predictd-smoke-out/metrics.prom; \
-	grep -q 'predictd_predict_requests_total 2' predictd-smoke-out/metrics.prom || \
-		{ echo "metrics exposition missing request counters"; kill $$pid; exit 1; }; \
+	grep -q 'predictd_predict_requests_total 11' predictd-smoke-out/metrics.prom || \
+		{ echo "metrics exposition predict counter off (want 11 requests)"; kill $$pid; exit 1; }; \
+	grep -q 'predictd_not_modified_total 1' predictd-smoke-out/metrics.prom || \
+		{ echo "metrics exposition missing the 304 counter"; kill $$pid; exit 1; }; \
 	kill -TERM $$pid; \
 	wait $$pid; \
 	grep -q 'drained and stopped' predictd-smoke-out/server.log || \
-		{ echo "server did not drain cleanly"; cat predictd-smoke-out/server.log; exit 1; }
+		{ echo "server did not drain cleanly"; cat predictd-smoke-out/server.log; exit 1; }; \
+	grep -q "\"trace\":\"$$trace\"" predictd-smoke-out/access.jsonl || \
+		{ echo "caller trace never reached the access log"; exit 1; }; \
+	./predictd-smoke-out/tracecheck -serve -require-outcomes cold,cached,coalesced \
+		predictd-smoke-out/spans.jsonl predictd-smoke-out/access.jsonl
 	@echo "predictd-smoke: OK"
 
 # profile runs the same slice with the Go profilers wired in and prints

@@ -8,7 +8,8 @@
 //	GET /v1/predict?app=&case=&procs=&target=&metric=[&observed=1]
 //	GET /v1/rank?app=&case=&procs=&metric=[&targets=a,b][&observed=1]
 //	GET /v1/apps       GET /v1/machines     GET /v1/cache
-//	GET /healthz       GET /metrics         (Prometheus text format)
+//	GET /v1/status     GET /healthz         GET /metrics
+//	GET /debug/pprof/* (with -pprof)
 //
 // Built for heavy concurrent traffic: probe suites, traces, and
 // predictions are deterministic, so they are memoized with exact cache
@@ -17,6 +18,14 @@
 // when the queue saturates; and every request runs under a deadline
 // derived from the client's own context, so a disconnect or timeout
 // cancels the work instead of orphaning it.
+//
+// Every request is traced: an incoming W3C traceparent header joins the
+// caller's trace (and is echoed back), otherwise the request starts a
+// fresh one. With -spans each request becomes a span tree streamed to a
+// rotating JSONL file as spans finish; with -access-log each request
+// additionally leaves one structured access record carrying the same
+// trace ID, so the two logs join. cmd/tracecheck -serve cross-validates
+// the pair.
 package main
 
 import (
@@ -47,35 +56,99 @@ func main() {
 	}
 }
 
-func run(ctx context.Context) error {
-	addr := flag.String("addr", "127.0.0.1:8080", "listen address (host:port; port 0 picks a free port)")
-	workers := flag.Int("workers", 0, "concurrently served requests (0 = GOMAXPROCS)")
-	queue := flag.Int("queue", 64, "requests allowed to wait for a worker before 429s")
-	requestTimeout := flag.Duration("request-timeout", 2*time.Minute, "per-request deadline (0 = bounded only by the client)")
-	shutdownTimeout := flag.Duration("shutdown-timeout", 10*time.Second, "grace period for in-flight requests on shutdown")
-	readyFile := flag.String("ready-file", "", "write the bound address to this file once listening (for scripts using port 0)")
-	flag.Parse()
+// serveOptions is everything run parses from flags, separated so tests
+// drive serve directly.
+type serveOptions struct {
+	addr            string
+	workers         int
+	queue           int
+	requestTimeout  time.Duration
+	shutdownTimeout time.Duration
+	readyFile       string
+	spansPath       string // "" = no span log (spans are dropped, traces still flow)
+	accessPath      string // "" = no access log
+	logMaxBytes     int64
+	statusWindow    time.Duration
+	runtimeSample   time.Duration
+	pprof           bool
+}
 
+func run(ctx context.Context) error {
+	var opts serveOptions
+	flag.StringVar(&opts.addr, "addr", "127.0.0.1:8080", "listen address (host:port; port 0 picks a free port)")
+	flag.IntVar(&opts.workers, "workers", 0, "concurrently served requests (0 = GOMAXPROCS)")
+	flag.IntVar(&opts.queue, "queue", 64, "requests allowed to wait for a worker before 429s")
+	flag.DurationVar(&opts.requestTimeout, "request-timeout", 2*time.Minute, "per-request deadline (0 = bounded only by the client)")
+	flag.DurationVar(&opts.shutdownTimeout, "shutdown-timeout", 10*time.Second, "grace period for in-flight requests on shutdown")
+	flag.StringVar(&opts.readyFile, "ready-file", "", "write the bound address to this file once listening (for scripts using port 0)")
+	flag.StringVar(&opts.spansPath, "spans", "", "stream finished spans to this JSONL file (empty = spans dropped)")
+	flag.StringVar(&opts.accessPath, "access-log", "", "write one JSONL access record per request to this file")
+	flag.Int64Var(&opts.logMaxBytes, "log-max-bytes", 64<<20, "rotate span/access logs past this size (<= 0 disables rotation)")
+	flag.DurationVar(&opts.statusWindow, "status-window", 60*time.Second, "rolling window for /v1/status latency quantiles")
+	flag.DurationVar(&opts.runtimeSample, "runtime-sample", 5*time.Second, "runtime gauge sampling interval")
+	flag.BoolVar(&opts.pprof, "pprof", false, "serve /debug/pprof/* (off by default)")
+	flag.Parse()
+	return serve(ctx, opts)
+}
+
+// serve runs the server until ctx is cancelled, then drains in-flight
+// requests and closes the logs — after the drain, so a request finishing
+// during shutdown still lands complete in both logs (no torn tails).
+func serve(ctx context.Context, opts serveOptions) (err error) {
 	o := obs.New()
-	p := predictor.New(predictor.Config{Workers: *workers})
-	srv := newServer(p, o, serverConfig{
-		workers:        effectiveWorkers(*workers),
-		queueLimit:     *queue,
-		requestTimeout: *requestTimeout,
+	var spanFile *obs.JSONLFile
+	if opts.spansPath != "" {
+		spanFile, err = obs.OpenJSONLFile(opts.spansPath, opts.logMaxBytes)
+		if err != nil {
+			return err
+		}
+		o.Tracer.SetSink(spanFile)
+	} else {
+		// No span log, but requests still get trace IDs (for access-log
+		// joins and traceparent echoes); Discard keeps the tracer from
+		// buffering spans for the life of the process.
+		o.Tracer.SetSink(obs.Discard{})
+	}
+	var access *obs.AccessLog
+	if opts.accessPath != "" {
+		access, err = obs.OpenAccessLog(opts.accessPath, opts.logMaxBytes)
+		if err != nil {
+			return errors.Join(err, spanFile.Close())
+		}
+	}
+	defer func() {
+		err = errors.Join(err, access.Close(), spanFile.Close())
+	}()
+
+	samplerCtx, stopSampler := context.WithCancel(ctx)
+	samplerDone := obs.StartRuntimeSampler(samplerCtx, o.Meter(), opts.runtimeSample)
+	defer func() {
+		stopSampler()
+		<-samplerDone
+	}()
+
+	p := predictor.New(predictor.Config{Workers: opts.workers})
+	srv := newServer(p, o, access, serverConfig{
+		workers:        effectiveWorkers(opts.workers),
+		queueLimit:     opts.queue,
+		requestTimeout: opts.requestTimeout,
+		statusWindow:   opts.statusWindow,
+		pprof:          opts.pprof,
 	})
 
-	ln, err := net.Listen("tcp", *addr)
+	ln, err := net.Listen("tcp", opts.addr)
 	if err != nil {
 		return err
 	}
 	bound := ln.Addr().String()
-	if *readyFile != "" {
-		if err := os.WriteFile(*readyFile, []byte(bound+"\n"), 0o644); err != nil {
+	if opts.readyFile != "" {
+		if err := os.WriteFile(opts.readyFile, []byte(bound+"\n"), 0o644); err != nil {
 			return errors.Join(err, ln.Close())
 		}
 	}
-	fmt.Fprintf(os.Stderr, "predictd: listening on %s (workers %d, queue %d, request timeout %s)\n",
-		bound, effectiveWorkers(*workers), *queue, *requestTimeout)
+	fmt.Fprintf(os.Stderr, "predictd: listening on %s (workers %d, queue %d, request timeout %s, spans %s, access log %s)\n",
+		bound, effectiveWorkers(opts.workers), opts.queue, opts.requestTimeout,
+		orNone(opts.spansPath), orNone(opts.accessPath))
 
 	hs := &http.Server{
 		Handler:           srv.Handler(),
@@ -88,7 +161,7 @@ func run(ctx context.Context) error {
 		// The buffer guarantees the send never blocks (one send ever),
 		// so the default branch is unreachable.
 		select {
-		case done <- shutdownWithGrace(hs, *shutdownTimeout):
+		case done <- shutdownWithGrace(hs, opts.shutdownTimeout):
 		default:
 		}
 	}()
@@ -118,4 +191,12 @@ func effectiveWorkers(n int) int {
 		return n
 	}
 	return runtime.GOMAXPROCS(0)
+}
+
+// orNone renders an optional path for the startup banner.
+func orNone(path string) string {
+	if path == "" {
+		return "(none)"
+	}
+	return path
 }

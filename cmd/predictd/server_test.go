@@ -23,7 +23,7 @@ func newTestServer(t *testing.T, cfg serverConfig) (*obs.Obs, *server, *httptest
 	t.Helper()
 	o := obs.New()
 	p := predictor.New(predictor.Config{Workers: cfg.workers})
-	s := newServer(p, o, cfg)
+	s := newServer(p, o, nil, cfg)
 	ts := httptest.NewServer(s.Handler())
 	t.Cleanup(ts.Close)
 	return o, s, ts
@@ -92,13 +92,13 @@ func TestListingsAndHealth(t *testing.T) {
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("/v1/cache = %d: %s", resp.StatusCode, body)
 	}
-	var sizes map[string]int
-	if err := json.Unmarshal(body, &sizes); err != nil {
+	var stats map[string]predictor.CacheStat
+	if err := json.Unmarshal(body, &stats); err != nil {
 		t.Fatal(err)
 	}
 	for _, layer := range []string{"probes", "cells", "predictions", "observations"} {
-		if _, ok := sizes[layer]; !ok {
-			t.Errorf("/v1/cache missing layer %q: %v", layer, sizes)
+		if _, ok := stats[layer]; !ok {
+			t.Errorf("/v1/cache missing layer %q: %v", layer, stats)
 		}
 	}
 
@@ -280,6 +280,39 @@ func TestServePredictParity(t *testing.T) {
 		t.Errorf("cached answer %v differs from cold %v", warm.PredictedSeconds, cold.PredictedSeconds)
 	}
 
+	// The response carries a deterministic strong ETag; revalidating with
+	// If-None-Match gets 304 with no body, and the server counts it.
+	etag := resp.Header.Get("ETag")
+	if etag == "" {
+		t.Fatal("predict response missing ETag")
+	}
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("If-None-Match", etag)
+	notMod, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nmBody, err := io.ReadAll(notMod.Body)
+	notMod.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if notMod.StatusCode != http.StatusNotModified {
+		t.Fatalf("If-None-Match revalidation = %d, want 304; body %s", notMod.StatusCode, nmBody)
+	}
+	if len(nmBody) != 0 {
+		t.Errorf("304 carried a body: %s", nmBody)
+	}
+	if got := notMod.Header.Get("ETag"); got != etag {
+		t.Errorf("304 ETag %q, want %q", got, etag)
+	}
+	if got := o.Metrics.Counter("predictd_not_modified_total").Value(); got != 1 {
+		t.Errorf("predictd_not_modified_total = %d, want 1", got)
+	}
+
 	// Recompute the same cell the way cmd/predict does — direct Engine
 	// calls, no caches — and require bitwise equality through the JSON
 	// round trip.
@@ -349,6 +382,130 @@ func TestServePredictParity(t *testing.T) {
 	}
 	if got := o.Metrics.Counter("predictor_trace_runs_total").Value(); got != traces {
 		t.Errorf("rank re-traced the cell: %d runs, want %d", got, traces)
+	}
+}
+
+// TestTraceparentEcho: a valid incoming traceparent joins the caller's
+// trace (same trace ID echoed back, new span ID); an invalid one starts
+// a fresh trace instead of failing the request.
+func TestTraceparentEcho(t *testing.T) {
+	_, _, ts := newTestServer(t, serverConfig{workers: 1, queueLimit: 0})
+	const callerTrace = "4bf92f3577b34da6a3ce929d0e0e4736"
+	const incoming = "00-" + callerTrace + "-00f067aa0ba902b7-01"
+
+	req, err := http.NewRequest(http.MethodGet, ts.URL+"/healthz", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("traceparent", incoming)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	echo := resp.Header.Get("Traceparent")
+	traceID, parentID, ok := obs.ParseTraceparent(echo)
+	if !ok {
+		t.Fatalf("response traceparent %q does not parse", echo)
+	}
+	if traceID != callerTrace {
+		t.Errorf("echoed trace %s, want caller's %s", traceID, callerTrace)
+	}
+	if parentID == "00f067aa0ba902b7" {
+		t.Error("echo reused the caller's span ID instead of the server root span's")
+	}
+
+	req.Header.Set("traceparent", "not-a-traceparent")
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	traceID, _, ok = obs.ParseTraceparent(resp.Header.Get("Traceparent"))
+	if !ok {
+		t.Fatalf("fresh-trace response traceparent %q does not parse", resp.Header.Get("Traceparent"))
+	}
+	if traceID == callerTrace {
+		t.Error("invalid traceparent adopted the previous trace ID")
+	}
+}
+
+// TestStatusEndpoint: /v1/status reports admission config, rolling
+// per-endpoint windows, and cache layers — and stays reachable when the
+// worker gate is saturated, because it is routed outside the gate.
+func TestStatusEndpoint(t *testing.T) {
+	_, s, ts := newTestServer(t, serverConfig{workers: 2, queueLimit: 4, statusWindow: 30 * time.Second})
+	resp, _ := get(t, ts.URL+"/healthz")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/healthz = %d", resp.StatusCode)
+	}
+
+	resp, body := get(t, ts.URL+"/v1/status")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/v1/status = %d: %s", resp.StatusCode, body)
+	}
+	var st statusResponse
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Workers != 2 || st.QueueLimit != 4 {
+		t.Errorf("status reports workers %d queue %d, want 2/4", st.Workers, st.QueueLimit)
+	}
+	if st.UptimeSeconds < 0 {
+		t.Errorf("negative uptime %v", st.UptimeSeconds)
+	}
+	if snap, ok := st.Endpoints["healthz"]; !ok || snap.Count < 1 {
+		t.Errorf("status window for healthz = %+v, want >= 1 observation", st.Endpoints["healthz"])
+	}
+	for _, layer := range []string{"probes", "cells", "predictions", "observations"} {
+		if _, ok := st.Caches[layer]; !ok {
+			t.Errorf("status missing cache layer %q", layer)
+		}
+	}
+
+	// Saturate both worker slots; status must still answer.
+	s.g.sem <- struct{}{}
+	s.g.sem <- struct{}{}
+	defer func() { <-s.g.sem; <-s.g.sem }()
+	resp, body = get(t, ts.URL+"/v1/status")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/v1/status under saturation = %d: %s", resp.StatusCode, body)
+	}
+}
+
+// TestPprofOptIn: the profiling surface exists only with the flag.
+func TestPprofOptIn(t *testing.T) {
+	_, _, off := newTestServer(t, serverConfig{workers: 1, queueLimit: 0})
+	resp, _ := get(t, off.URL+"/debug/pprof/cmdline")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("pprof without -pprof = %d, want 404", resp.StatusCode)
+	}
+	_, _, on := newTestServer(t, serverConfig{workers: 1, queueLimit: 0, pprof: true})
+	resp, _ = get(t, on.URL+"/debug/pprof/cmdline")
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("pprof with -pprof = %d, want 200", resp.StatusCode)
+	}
+}
+
+// TestEtagMatches pins the If-None-Match comparison.
+func TestEtagMatches(t *testing.T) {
+	const tag = `"abc123"`
+	cases := []struct {
+		header string
+		want   bool
+	}{
+		{"", false},
+		{tag, true},
+		{`"other"`, false},
+		{`"other", ` + tag, true},
+		{"*", true},
+		{"W/" + tag, true},
+		{"abc123", false}, // unquoted is a different opaque value
+	}
+	for _, c := range cases {
+		if got := etagMatches(c.header, tag); got != c.want {
+			t.Errorf("etagMatches(%q) = %v, want %v", c.header, got, c.want)
+		}
 	}
 }
 

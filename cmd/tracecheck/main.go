@@ -7,13 +7,23 @@
 // must sum to the total. CI runs it after the traced -short study and
 // the chaos run to catch export regressions.
 //
+// With -serve it instead validates the predictd serving pair — a span
+// log plus an access log: every access record joins a root span by trace
+// ID (with matching endpoint and status), parentage is acyclic, and
+// every coalesced wait span references its leader's trace.
+// -require-outcomes additionally demands the run demonstrated specific
+// cache outcomes, which is how CI proves a smoke run exercised the
+// cold/cached/coalesced triple.
+//
 // Usage:
 //
 //	tracecheck spans.jsonl manifest.json [metrics.prom]
+//	tracecheck -serve [-require-outcomes cold,cached,coalesced] spans.jsonl access.jsonl
 package main
 
 import (
 	"bufio"
+	"flag"
 	"fmt"
 	"os"
 	"strconv"
@@ -23,10 +33,68 @@ import (
 )
 
 func main() {
-	if err := run(); err != nil {
+	serveMode := flag.Bool("serve", false, "validate a predictd span log + access log pair instead of study artifacts")
+	requireOutcomes := flag.String("require-outcomes", "", "comma-separated cache outcomes the serve logs must demonstrate (with -serve)")
+	flag.Parse()
+	var err error
+	if *serveMode {
+		err = runServe(flag.Args(), *requireOutcomes)
+	} else {
+		err = run()
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "tracecheck:", err)
 		os.Exit(1)
 	}
+}
+
+// runServe cross-validates a predictd span log against its access log.
+func runServe(args []string, requireOutcomes string) error {
+	if len(args) != 2 {
+		return fmt.Errorf("usage: tracecheck -serve [-require-outcomes a,b] spans.jsonl access.jsonl")
+	}
+	spansPath, accessPath := args[0], args[1]
+
+	sf, err := os.Open(spansPath)
+	if err != nil {
+		return err
+	}
+	defer sf.Close()
+	spans, err := obs.ReadJSONL(sf)
+	if err != nil {
+		return err
+	}
+	af, err := os.Open(accessPath)
+	if err != nil {
+		return err
+	}
+	defer af.Close()
+	accs, err := obs.ReadAccessLog(af)
+	if err != nil {
+		return err
+	}
+	if len(accs) == 0 {
+		return fmt.Errorf("%s: no access records", accessPath)
+	}
+
+	stats, err := obs.CheckServeLogs(spans, accs)
+	if err != nil {
+		return err
+	}
+	if requireOutcomes != "" {
+		for _, outcome := range strings.Split(requireOutcomes, ",") {
+			outcome = strings.TrimSpace(outcome)
+			if outcome == "" {
+				continue
+			}
+			if stats.Outcomes[outcome] < 1 {
+				return fmt.Errorf("serve logs demonstrate no %q outcome (saw %v)", outcome, stats.OutcomeNames())
+			}
+		}
+	}
+	fmt.Printf("tracecheck: %d access records joined to %d root spans (%d spans total), %d coalesced waits verified, outcomes %v\n",
+		stats.AccessRecords, stats.RootSpans, len(spans), stats.CoalescedSpans, stats.OutcomeNames())
+	return nil
 }
 
 // requiredPhases are the span names every traced study run must emit.

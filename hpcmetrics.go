@@ -217,6 +217,9 @@ type (
 	RankRequest = predictor.RankRequest
 	// RankResult is a rank answer, fastest machine first.
 	RankResult = predictor.Ranking
+	// PredictorCacheStat is one memoization layer's live view: keyspace
+	// size plus hit/miss/coalesce traffic (Predictor.CacheStats).
+	PredictorCacheStat = predictor.CacheStat
 )
 
 // ErrBadPredictRequest marks request-validation failures from the

@@ -1,0 +1,96 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// AccessRecord is one served request in the structured access log: the
+// operational view of a request, joinable against the span log by trace
+// ID. One JSON line per request.
+type AccessRecord struct {
+	// TimeNs is the wall-clock completion time (Unix nanoseconds) — the
+	// only wall timestamp in the pair of logs; span timestamps are
+	// monotonic offsets from the tracer epoch.
+	TimeNs int64 `json:"t_ns"`
+	// Trace is the request's W3C trace ID — the join key to the span
+	// log's root span for this request.
+	Trace string `json:"trace"`
+	// Endpoint is the server's short endpoint name ("predict", "rank",
+	// "status", ...), matching the root span's name.
+	Endpoint string `json:"endpoint"`
+	// Status is the HTTP status code sent.
+	Status int `json:"status"`
+	// LatencyNs is the request's server-side latency in nanoseconds.
+	LatencyNs int64 `json:"latency_ns"`
+	// Outcome is the request's cache outcome when it computed something:
+	// "cold" (this request led at least one computation), "coalesced"
+	// (it waited on another request's in-flight computation), or
+	// "cached" (every layer was an exact settled hit). Empty for
+	// endpoints with nothing to cache and for failed requests.
+	Outcome string `json:"outcome,omitempty"`
+	// Shed names why admission refused the request ("queue_full" for
+	// 429, "queue_deadline" for 503), empty when admitted.
+	Shed string `json:"shed,omitempty"`
+	// Bytes is the response body size in bytes (0 for a 304).
+	Bytes int64 `json:"bytes"`
+}
+
+// AccessLog streams AccessRecords to a rotating JSONL file. A nil
+// *AccessLog drops records, so the disabled path is one nil check.
+type AccessLog struct {
+	file *JSONLFile
+}
+
+// OpenAccessLog creates (truncating) a rotating access log at path;
+// maxBytes <= 0 disables rotation.
+func OpenAccessLog(path string, maxBytes int64) (*AccessLog, error) {
+	f, err := OpenJSONLFile(path, maxBytes)
+	if err != nil {
+		return nil, err
+	}
+	return &AccessLog{file: f}, nil
+}
+
+// Write appends one record. Nil-safe.
+func (l *AccessLog) Write(rec AccessRecord) error {
+	if l == nil {
+		return nil
+	}
+	return l.file.WriteRecord(rec)
+}
+
+// Close flushes and closes the log. Nil-safe.
+func (l *AccessLog) Close() error {
+	if l == nil {
+		return nil
+	}
+	return l.file.Close()
+}
+
+// ReadAccessLog parses an access log produced by AccessLog.Write. Blank
+// lines are skipped; any other malformed line is an error, so a torn
+// tail is detected rather than silently dropped.
+func ReadAccessLog(r io.Reader) ([]AccessRecord, error) {
+	var out []AccessRecord
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for line := 1; sc.Scan(); line++ {
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		var rec AccessRecord
+		if err := json.Unmarshal([]byte(text), &rec); err != nil {
+			return nil, fmt.Errorf("access log line %d: %w", line, err)
+		}
+		out = append(out, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

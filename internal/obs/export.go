@@ -6,11 +6,13 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
 	"os"
 	"os/exec"
 	"runtime"
 	"sort"
+	"strconv"
 	"strings"
 	"time"
 )
@@ -125,33 +127,96 @@ func (r *Registry) Snapshot() Snapshot {
 	return snap
 }
 
+// PromName sanitizes an instrument name into the Prometheus metric-name
+// grammar [a-zA-Z_:][a-zA-Z0-9_:]*: every invalid byte becomes '_' and
+// a leading digit is prefixed with '_'. The registry accepts any string
+// as a name (hot paths build names by concatenation), so the exposition
+// boundary is where the grammar gets enforced — a scrape must never see
+// an invalid series name.
+func PromName(name string) string {
+	if name == "" {
+		return "_"
+	}
+	valid := func(c byte, first bool) bool {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+			return true
+		case c >= '0' && c <= '9':
+			return !first
+		}
+		return false
+	}
+	clean := true
+	for i := 0; i < len(name); i++ {
+		if !valid(name[i], i == 0) {
+			clean = false
+			break
+		}
+	}
+	if clean {
+		return name
+	}
+	b := []byte(name)
+	for i := range b {
+		if !valid(b[i], false) {
+			b[i] = '_'
+		}
+	}
+	if !valid(b[0], true) {
+		return "_" + string(b)
+	}
+	return string(b)
+}
+
+// PromFloat formats a float sample value for the text exposition
+// format, which spells special values "NaN", "+Inf", and "-Inf" (%g
+// would emit "NaN"/"+Inf" too, but Go's spelling of negative infinity
+// and the format's are only accidentally aligned — make it explicit so
+// a conformance test can pin it).
+func PromFloat(f float64) string {
+	switch {
+	case math.IsNaN(f):
+		return "NaN"
+	case math.IsInf(f, 1):
+		return "+Inf"
+	case math.IsInf(f, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(f, 'g', -1, 64)
+}
+
 // WriteProm dumps the registry in Prometheus text exposition format.
 // Histograms use cumulative le buckets with bounds in seconds; gauges
-// additionally export a <name>_peak series.
+// additionally export a <name>_peak series. Instrument names are passed
+// through PromName, so the output conforms even when a registry name
+// does not.
 func (r *Registry) WriteProm(w io.Writer) error {
 	snap := r.Snapshot()
 	bw := bufio.NewWriter(w)
 	for _, c := range snap.Counters {
-		fmt.Fprintf(bw, "# TYPE %s counter\n%s %d\n", c.Name, c.Name, c.Value)
+		name := PromName(c.Name)
+		fmt.Fprintf(bw, "# TYPE %s counter\n%s %d\n", name, name, c.Value)
 	}
 	for _, g := range snap.Gauges {
-		fmt.Fprintf(bw, "# TYPE %s gauge\n%s %d\n", g.Name, g.Name, g.Value)
-		fmt.Fprintf(bw, "# TYPE %s_peak gauge\n%s_peak %d\n", g.Name, g.Name, g.Peak)
+		name := PromName(g.Name)
+		fmt.Fprintf(bw, "# TYPE %s gauge\n%s %d\n", name, name, g.Value)
+		fmt.Fprintf(bw, "# TYPE %s_peak gauge\n%s_peak %d\n", name, name, g.Peak)
 	}
 	for _, h := range snap.Histograms {
-		fmt.Fprintf(bw, "# TYPE %s histogram\n", h.Name)
+		name := PromName(h.Name)
+		fmt.Fprintf(bw, "# TYPE %s histogram\n", name)
 		cum := int64(0)
 		for i, n := range h.Buckets {
 			cum += n
 			if i == len(h.Buckets)-1 {
-				fmt.Fprintf(bw, "%s_bucket{le=\"+Inf\"} %d\n", h.Name, cum)
+				fmt.Fprintf(bw, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
 				continue
 			}
 			boundSeconds := float64(BucketBound(i)) / float64(time.Second.Nanoseconds())
-			fmt.Fprintf(bw, "%s_bucket{le=\"%g\"} %d\n", h.Name, boundSeconds, cum)
+			fmt.Fprintf(bw, "%s_bucket{le=\"%s\"} %d\n", name, PromFloat(boundSeconds), cum)
 		}
 		sumSeconds := float64(h.SumNs) / float64(time.Second.Nanoseconds())
-		fmt.Fprintf(bw, "%s_sum %g\n%s_count %d\n", h.Name, sumSeconds, h.Name, h.Count)
+		fmt.Fprintf(bw, "%s_sum %s\n%s_count %d\n", name, PromFloat(sumSeconds), name, h.Count)
 	}
 	return bw.Flush()
 }

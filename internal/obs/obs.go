@@ -134,6 +134,11 @@ type SpanRecord struct {
 	ID uint64 `json:"id"`
 	// Parent is the parent span's ID, or 0 for a root span.
 	Parent uint64 `json:"parent,omitempty"`
+	// Trace is the W3C trace ID of the request this span belongs to,
+	// inherited from the root span started by StartRequestSpan. Batch
+	// spans (plain StartSpan roots) have no trace and omit the field, so
+	// batch span logs are byte-identical to pre-tracing ones.
+	Trace string `json:"trace,omitempty"`
 	// Name is the phase name passed to StartSpan.
 	Name string `json:"name"`
 	// Path is the slash-joined name chain from the root span, e.g.
@@ -153,6 +158,7 @@ type Span struct {
 	tracer  *Tracer
 	id      uint64
 	parent  uint64
+	trace   string
 	name    string
 	path    string
 	startNs int64
@@ -160,6 +166,34 @@ type Span struct {
 	ended atomic.Bool
 	mu    sync.Mutex
 	attrs map[string]string // guarded by mu
+}
+
+// TraceID returns the span's trace ID, or "" for a nil span or a batch
+// span started outside a request.
+func (s *Span) TraceID() string {
+	if s == nil {
+		return ""
+	}
+	return s.trace
+}
+
+// Attr returns the current value of one annotation, or "". Nil-safe.
+func (s *Span) Attr(key string) string {
+	if s == nil {
+		return ""
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.attrs[key]
+}
+
+// Traceparent renders the span as an outgoing W3C traceparent header
+// value, or "" when the span carries no trace.
+func (s *Span) Traceparent() string {
+	if s == nil || s.trace == "" {
+		return ""
+	}
+	return FormatTraceparent(s.trace, s.id)
 }
 
 // Annotate attaches a key/value detail to the span (machine name, cell
@@ -187,6 +221,7 @@ func (s *Span) End() {
 	rec := SpanRecord{
 		ID:      s.id,
 		Parent:  s.parent,
+		Trace:   s.trace,
 		Name:    s.name,
 		Path:    s.path,
 		StartNs: s.startNs,
@@ -200,17 +235,63 @@ func (s *Span) End() {
 
 // Tracer collects spans. Goroutine-safe: any number of workers may start
 // and end spans concurrently.
+//
+// By default finished spans are buffered in memory for Records() — the
+// batch mode the study harness uses, where the log is dumped once at
+// exit. A long-running server instead calls SetSink to stream each span
+// out as it finishes (write-on-finish), in which case nothing is
+// buffered and the tracer's memory stays bounded for the life of the
+// process.
 type Tracer struct {
 	epoch time.Time
 	next  atomic.Uint64
 
+	sinkErrs atomic.Int64
+
 	mu       sync.Mutex
+	sink     SpanSink     // guarded by mu
 	finished []SpanRecord // guarded by mu
 }
+
+// SpanSink receives finished spans as they end. Implementations must be
+// goroutine-safe; JSONLFile and Discard both qualify.
+type SpanSink interface {
+	WriteSpan(SpanRecord) error
+}
+
+// Discard is a SpanSink that drops every span. A server that wants
+// request trace IDs (for access-log joins and traceparent echoes) but no
+// span log installs it so the tracer never buffers.
+type Discard struct{}
+
+// WriteSpan drops the record.
+func (Discard) WriteSpan(SpanRecord) error { return nil }
 
 // NewTracer returns a tracer whose timestamps count from now.
 func NewTracer() *Tracer {
 	return &Tracer{epoch: time.Now()}
+}
+
+// SetSink switches the tracer to streaming mode: finished spans go to s
+// instead of the in-memory buffer (nil restores buffering). Install the
+// sink before spans start finishing; records already buffered stay
+// buffered. Nil-safe on the receiver.
+func (t *Tracer) SetSink(s SpanSink) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.sink = s
+	t.mu.Unlock()
+}
+
+// SinkErrors reports how many finished spans the sink failed to write
+// (each was dropped); nil reads 0.
+func (t *Tracer) SinkErrors() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.sinkErrs.Load()
 }
 
 // now returns monotonic nanoseconds since the tracer's epoch (time.Since
@@ -230,16 +311,27 @@ func (t *Tracer) start(name string, parent *Span) *Span {
 	}
 	if parent != nil {
 		s.parent = parent.id
+		s.trace = parent.trace
 		s.path = parent.path + "/" + name
 	}
 	return s
 }
 
-// finish appends one finished record.
+// finish streams one finished record to the sink, or buffers it.
 func (t *Tracer) finish(rec SpanRecord) {
 	t.mu.Lock()
-	defer t.mu.Unlock()
-	t.finished = append(t.finished, rec)
+	sink := t.sink
+	if sink == nil {
+		t.finished = append(t.finished, rec)
+		t.mu.Unlock()
+		return
+	}
+	t.mu.Unlock()
+	// The sink serializes internally; writing outside t.mu keeps slow
+	// exports from stalling concurrent span starts/ends.
+	if err := sink.WriteSpan(rec); err != nil {
+		t.sinkErrs.Add(1)
+	}
 }
 
 // Len returns how many spans have finished so far.

@@ -1,0 +1,136 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// Rolling tracks a duration distribution over a sliding window — the
+// "what are p99s right now" view a live server needs, as opposed to the
+// process-lifetime Histogram. Cornebize & Legrand's point that serving
+// distributions, not means, are the honest unit of report is why the
+// snapshot carries quantiles rather than an average alone.
+//
+// The window is a ring of fixed log2-bucket shards, one per shardDur;
+// Observe lands in the shard for the current instant, lazily resetting
+// shards whose time slot has lapped. Snapshot merges every shard still
+// inside the window, so quantiles cover the last shards x shardDur of
+// traffic with shardDur granularity. Memory is O(shards x buckets),
+// independent of traffic.
+type Rolling struct {
+	shardDur time.Duration
+	now      func() time.Time // test seam; time.Now outside tests
+
+	mu     sync.Mutex
+	shards []rollingShard // guarded by mu
+}
+
+// rollingShard is one time slot's distribution. unit is the absolute
+// shard index (now / shardDur) it currently holds; a slot whose unit is
+// stale gets zeroed before reuse.
+type rollingShard struct {
+	unit    int64
+	buckets [histBucketCount + 1]int64
+	count   int64
+	sumNs   int64
+}
+
+// NewRolling returns a window of `shards` slots of shardDur each (a
+// 60 x 1s window: NewRolling(time.Second, 60)). Degenerate arguments are
+// clamped to one 1s shard.
+func NewRolling(shardDur time.Duration, shards int) *Rolling {
+	if shardDur <= 0 {
+		shardDur = time.Second
+	}
+	if shards < 1 {
+		shards = 1
+	}
+	return &Rolling{shardDur: shardDur, now: time.Now, shards: make([]rollingShard, shards)}
+}
+
+// Observe records one duration into the current time slot. Nil-safe.
+func (r *Rolling) Observe(d time.Duration) {
+	if r == nil {
+		return
+	}
+	ns := d.Nanoseconds()
+	if ns < 0 {
+		ns = 0
+	}
+	unit := int64(r.now().UnixNano()) / int64(r.shardDur)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := &r.shards[unit%int64(len(r.shards))]
+	if s.unit != unit {
+		*s = rollingShard{unit: unit}
+	}
+	s.buckets[bucketIndex(ns)]++
+	s.count++
+	s.sumNs += ns
+}
+
+// RollingSnap is one window's distribution summary. Quantiles are upper
+// bounds of the log2 histogram bucket holding the target rank, so they
+// overestimate by at most 2x — the same resolution the process-lifetime
+// Prometheus histograms export.
+type RollingSnap struct {
+	WindowSeconds float64 `json:"window_seconds"`
+	Count         int64   `json:"count"`
+	MeanNs        int64   `json:"mean_ns"`
+	P50Ns         int64   `json:"p50_ns"`
+	P95Ns         int64   `json:"p95_ns"`
+	P99Ns         int64   `json:"p99_ns"`
+}
+
+// Snapshot merges every shard still inside the window and summarizes
+// it. A nil or empty window reads zero quantiles with Count 0.
+func (r *Rolling) Snapshot() RollingSnap {
+	if r == nil {
+		return RollingSnap{}
+	}
+	r.mu.Lock()
+	unit := int64(r.now().UnixNano()) / int64(r.shardDur)
+	oldest := unit - int64(len(r.shards)) + 1
+	var merged [histBucketCount + 1]int64
+	var count, sumNs int64
+	for i := range r.shards {
+		s := &r.shards[i]
+		if s.unit < oldest || s.unit > unit {
+			continue
+		}
+		for b := range merged {
+			merged[b] += s.buckets[b]
+		}
+		count += s.count
+		sumNs += s.sumNs
+	}
+	window := time.Duration(len(r.shards)) * r.shardDur
+	r.mu.Unlock()
+
+	snap := RollingSnap{WindowSeconds: window.Seconds(), Count: count}
+	if count == 0 {
+		return snap
+	}
+	snap.MeanNs = sumNs / count
+	snap.P50Ns = quantileNs(&merged, count, 0.50)
+	snap.P95Ns = quantileNs(&merged, count, 0.95)
+	snap.P99Ns = quantileNs(&merged, count, 0.99)
+	return snap
+}
+
+// quantileNs returns the upper bound of the bucket holding rank
+// ceil(q*count). The overflow bucket reads as twice the largest bound.
+func quantileNs(buckets *[histBucketCount + 1]int64, count int64, q float64) int64 {
+	target := int64(q*float64(count) + 0.999999)
+	if target < 1 {
+		target = 1
+	}
+	var cum int64
+	for i := 0; i < histBucketCount; i++ {
+		cum += buckets[i]
+		if cum >= target {
+			return BucketBound(i)
+		}
+	}
+	return BucketBound(histBucketCount-1) * 2
+}

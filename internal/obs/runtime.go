@@ -1,0 +1,54 @@
+package obs
+
+import (
+	"context"
+	"runtime"
+	"time"
+)
+
+// SampleRuntime reads the Go runtime's health gauges into reg once:
+// goroutine count, heap levels, and GC activity. ReadMemStats briefly
+// stops the world, which is why sampling rides a ticker rather than
+// every scrape.
+func SampleRuntime(reg *Registry) {
+	if reg == nil {
+		return
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	reg.Gauge("runtime_goroutines").Set(int64(runtime.NumGoroutine()))
+	reg.Gauge("runtime_heap_alloc_bytes").Set(int64(ms.HeapAlloc))
+	reg.Gauge("runtime_heap_sys_bytes").Set(int64(ms.HeapSys))
+	reg.Gauge("runtime_heap_objects").Set(int64(ms.HeapObjects))
+	reg.Gauge("runtime_gc_cycles").Set(int64(ms.NumGC))
+	reg.Gauge("runtime_gc_pause_total_ns").Set(int64(ms.PauseTotalNs))
+	if ms.NumGC > 0 {
+		reg.Gauge("runtime_gc_pause_last_ns").Set(int64(ms.PauseNs[(ms.NumGC+255)%256]))
+	}
+}
+
+// StartRuntimeSampler spawns a goroutine that samples the runtime into
+// reg every interval until ctx is cancelled; the returned channel closes
+// when the sampler has stopped. One sample is taken immediately so the
+// gauges exist before the first tick.
+func StartRuntimeSampler(ctx context.Context, reg *Registry, interval time.Duration) <-chan struct{} {
+	if interval <= 0 {
+		interval = 5 * time.Second
+	}
+	SampleRuntime(reg)
+	stopped := make(chan struct{})
+	go func() {
+		defer close(stopped)
+		tick := time.NewTicker(interval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-tick.C:
+				SampleRuntime(reg)
+			}
+		}
+	}()
+	return stopped
+}

@@ -1,0 +1,147 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+)
+
+// Annotation keys shared between the serving layer (which writes them)
+// and tracecheck -serve (which joins on them). Defined here so the two
+// sides cannot drift.
+const (
+	// AttrEndpoint is the root span's endpoint name, matching
+	// AccessRecord.Endpoint.
+	AttrEndpoint = "endpoint"
+	// AttrStatus is the root span's final HTTP status code.
+	AttrStatus = "status"
+	// AttrOutcome is the cache outcome ("cold", "cached", "coalesced")
+	// on request root spans and cache-layer child spans.
+	AttrOutcome = "outcome"
+	// AttrLeaderTrace on a coalesced wait span names the trace ID of the
+	// request whose in-flight computation was waited on.
+	AttrLeaderTrace = "leader_trace"
+	// AttrShed on a root span names why admission refused the request.
+	AttrShed = "shed"
+)
+
+// ServeStats summarizes a validated span-log/access-log pair.
+type ServeStats struct {
+	// AccessRecords is the number of access-log records joined.
+	AccessRecords int
+	// RootSpans is the number of request root spans in the span log.
+	RootSpans int
+	// Outcomes counts access records per cache outcome ("" excluded).
+	Outcomes map[string]int
+	// CoalescedSpans is the number of coalesced wait spans whose leader
+	// reference was verified.
+	CoalescedSpans int
+}
+
+// CheckServeLogs cross-validates a predictd span log against its access
+// log:
+//
+//   - span structure: unique IDs, parents present, parentage acyclic,
+//     children inside their parent's trace;
+//   - the join: every access record carries a trace ID and resolves to a
+//     root span with the same trace, endpoint, and status;
+//   - coalescing: every coalesced wait span references its leader's
+//     trace, and that trace's root span exists in the log.
+//
+// It returns per-outcome counts so callers can additionally require that
+// a run demonstrated specific outcomes (a cold/cached/coalesced triple).
+func CheckServeLogs(spans []SpanRecord, accs []AccessRecord) (ServeStats, error) {
+	stats := ServeStats{Outcomes: make(map[string]int)}
+
+	byID := make(map[uint64]SpanRecord, len(spans))
+	for _, s := range spans {
+		if s.ID == 0 {
+			return stats, fmt.Errorf("span with zero id")
+		}
+		if _, dup := byID[s.ID]; dup {
+			return stats, fmt.Errorf("duplicate span id %d", s.ID)
+		}
+		byID[s.ID] = s
+	}
+
+	// roots indexes request root spans by trace ID; a trace may hold
+	// several roots (a caller may legally replay a traceparent), so the
+	// join below matches on (trace, endpoint, status).
+	roots := make(map[string][]SpanRecord)
+	for _, s := range spans {
+		if s.Parent == 0 {
+			if s.Trace != "" {
+				roots[s.Trace] = append(roots[s.Trace], s)
+				stats.RootSpans++
+			}
+			continue
+		}
+		parent, ok := byID[s.Parent]
+		if !ok {
+			return stats, fmt.Errorf("span %d references unknown parent %d", s.ID, s.Parent)
+		}
+		if s.Trace != parent.Trace {
+			return stats, fmt.Errorf("span %d trace %q differs from parent %d trace %q",
+				s.ID, s.Trace, parent.ID, parent.Trace)
+		}
+	}
+
+	// Acyclic parentage: walk each span to its root; more hops than
+	// spans exist proves a cycle.
+	for _, s := range spans {
+		cur := s
+		for hops := 0; cur.Parent != 0; hops++ {
+			if hops > len(spans) {
+				return stats, fmt.Errorf("span %d: parent chain does not terminate (cycle)", s.ID)
+			}
+			cur = byID[cur.Parent]
+		}
+	}
+
+	for i, a := range accs {
+		if a.Trace == "" {
+			return stats, fmt.Errorf("access record %d (%s): empty trace id", i, a.Endpoint)
+		}
+		matched := false
+		for _, root := range roots[a.Trace] {
+			if root.Attrs[AttrEndpoint] == a.Endpoint && root.Attrs[AttrStatus] == strconv.Itoa(a.Status) {
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			return stats, fmt.Errorf("access record %d (trace %s, endpoint %s, status %d): no matching root span",
+				i, a.Trace, a.Endpoint, a.Status)
+		}
+		stats.AccessRecords++
+		if a.Outcome != "" {
+			stats.Outcomes[a.Outcome]++
+		}
+	}
+
+	for _, s := range spans {
+		if s.Attrs[AttrOutcome] != "coalesced" || s.Parent == 0 {
+			continue
+		}
+		leader := s.Attrs[AttrLeaderTrace]
+		if leader == "" {
+			return stats, fmt.Errorf("coalesced span %d (%s) has no %s annotation", s.ID, s.Path, AttrLeaderTrace)
+		}
+		if _, ok := roots[leader]; !ok {
+			return stats, fmt.Errorf("coalesced span %d (%s) references leader trace %s with no root span",
+				s.ID, s.Path, leader)
+		}
+		stats.CoalescedSpans++
+	}
+	return stats, nil
+}
+
+// OutcomeNames returns the outcomes seen, sorted, for log lines.
+func (s ServeStats) OutcomeNames() []string {
+	names := make([]string, 0, len(s.Outcomes))
+	for name := range s.Outcomes {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,120 @@
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"sync/atomic"
+)
+
+// W3C trace-context (traceparent) support. A predictd request either
+// carries an incoming `traceparent` header — in which case its spans
+// join the caller's trace — or is assigned a fresh random trace ID. The
+// format is the W3C one, version 00:
+//
+//	00-<32 lowercase hex trace-id>-<16 lowercase hex parent-id>-<2 hex flags>
+//
+// Span IDs inside a trace are the tracer's own uint64 span IDs rendered
+// as 16 hex digits; they are unique per process, which is all the join
+// in tracecheck -serve needs.
+
+// AttrRemoteParent is the root-span annotation holding the parent span
+// ID of an incoming traceparent, so an external caller's span tree can
+// be stitched to ours.
+const AttrRemoteParent = "remote_parent"
+
+// traceFallback feeds trace IDs when crypto/rand fails (it effectively
+// never does); a counter keeps them unique within the process.
+var traceFallback atomic.Uint64
+
+// NewTraceID returns a 32-hex-digit random trace ID, never all zeros.
+func NewTraceID() string {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return fmt.Sprintf("%032x", traceFallback.Add(1))
+	}
+	if allZero(b[:]) {
+		b[15] = 1
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// FormatTraceparent renders a version-00 traceparent value from a trace
+// ID and a process-local span ID, with the sampled flag set.
+func FormatTraceparent(traceID string, spanID uint64) string {
+	return fmt.Sprintf("00-%s-%016x-01", traceID, spanID)
+}
+
+// ParseTraceparent validates an incoming traceparent header value and
+// returns its trace ID and parent span ID. Only version 00 with
+// lowercase hex is accepted (the W3C grammar); anything else reports
+// ok=false and the server starts a fresh trace instead of failing the
+// request.
+func ParseTraceparent(h string) (traceID, parentID string, ok bool) {
+	// 2 (version) + 1 + 32 (trace) + 1 + 16 (parent) + 1 + 2 (flags).
+	if len(h) != 55 || h[0] != '0' || h[1] != '0' || h[2] != '-' || h[35] != '-' || h[52] != '-' {
+		return "", "", false
+	}
+	traceID, parentID = h[3:35], h[36:52]
+	if !isLowerHex(traceID) || !isLowerHex(parentID) || !isLowerHex(h[53:]) {
+		return "", "", false
+	}
+	if allHexZero(traceID) || allHexZero(parentID) {
+		return "", "", false
+	}
+	return traceID, parentID, true
+}
+
+func isLowerHex(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+func allHexZero(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if s[i] != '0' {
+			return false
+		}
+	}
+	return true
+}
+
+func allZero(b []byte) bool {
+	for _, v := range b {
+		if v != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// StartRequestSpan begins the root span of one server request. The
+// incoming traceparent header value (may be "") is parsed; a valid one
+// contributes the trace ID (and its parent span ID is kept as the
+// AttrRemoteParent annotation), otherwise a fresh random trace ID is
+// generated. Like StartSpan, a context with no tracer returns (ctx, nil)
+// and every downstream call no-ops.
+//
+// The returned span's Traceparent() is the value to echo in the
+// response header, and its TraceID() is what the access log records —
+// the join key between the two logs.
+func StartRequestSpan(ctx context.Context, name, traceparent string) (context.Context, *Span) {
+	o := From(ctx)
+	if o == nil || o.Tracer == nil {
+		return ctx, nil
+	}
+	s := o.Tracer.start(name, nil)
+	if traceID, parentID, ok := ParseTraceparent(traceparent); ok {
+		s.trace = traceID
+		s.Annotate(AttrRemoteParent, parentID)
+	} else {
+		s.trace = NewTraceID()
+	}
+	return &spanCtx{Context: ctx, s: s}, s
+}

@@ -4,17 +4,51 @@ import (
 	"context"
 	"errors"
 	"sync"
+	"sync/atomic"
 
 	"hpcmetrics/internal/obs"
 )
 
+// hitKind classifies how one cache.get was served. The zero value is
+// the leader path (a miss that computed).
+type hitKind int
+
+const (
+	// hitMiss: this caller led the computation (cold).
+	hitMiss hitKind = iota
+	// hitSettled: exact hit on a settled slot.
+	hitSettled
+	// hitCoalesced: this caller waited on another's in-flight slot.
+	hitCoalesced
+)
+
+// cached reports whether the value came from the cache rather than this
+// caller's own computation.
+func (k hitKind) cached() bool { return k != hitMiss }
+
+// String renders the request-facing outcome vocabulary shared with the
+// access log and span annotations.
+func (k hitKind) String() string {
+	switch k {
+	case hitSettled:
+		return "cached"
+	case hitCoalesced:
+		return "coalesced"
+	}
+	return "cold"
+}
+
 // entry is one cache slot. done is closed once the slot is settled;
 // val/err are written exactly once, before the close, so readers that
 // have observed the close may read them without the cache lock.
+// leaderTrace is the leading request's trace ID, written before the
+// entry is published so coalesced followers can reference the trace
+// their answer is being computed under.
 type entry struct {
-	done chan struct{}
-	val  any
-	err  error
+	done        chan struct{}
+	leaderTrace string
+	val         any
+	err         error
 }
 
 // cache is an exact-hit memoization table with request coalescing. The
@@ -32,45 +66,61 @@ type entry struct {
 // leader that fails because its *own* context was cancelled settles the
 // slot with that context error; waiting followers do not inherit it —
 // they loop and elect a new leader among themselves.
+//
+// When the context carries a tracer, the layer's work becomes spans: a
+// leader's computation runs under a "<layer>.compute" child span
+// (outcome "cold"), and a follower's wait is a "<layer>.wait" span
+// (outcome "coalesced") annotated with the leader's trace ID — which is
+// how a served request's latency decomposes into cold compute versus
+// coalesced-follower wait in the span log.
 type cache struct {
 	name string // obs metric stem, e.g. "predictor_predict_cache"
+	span string // span-name stem, e.g. "predict"
+
+	hits      atomic.Int64
+	misses    atomic.Int64
+	coalesced atomic.Int64
 
 	mu sync.Mutex
 	m  map[string]*entry // guarded by mu
 }
 
-func newCache(name string) *cache {
-	return &cache{name: name, m: make(map[string]*entry)}
+func newCache(name, span string) *cache {
+	return &cache{name: name, span: span, m: make(map[string]*entry)}
 }
 
 // get returns the value for key, computing it via compute on a miss.
-// The second result reports whether the value came from the cache (a
-// settled hit or a coalesced wait) rather than from this caller's own
-// computation. Counters, resolved from ctx's obs registry (nil-safe):
-// <name>_hits_total, <name>_misses_total (this caller led the
-// computation), and <name>_coalesced_total (this caller waited on
-// another's in-flight computation).
-func (c *cache) get(ctx context.Context, key string, compute func(context.Context) (any, error)) (any, bool, error) {
+// The second result classifies how the call was served: hitMiss (this
+// caller led the computation), hitSettled (exact hit), or hitCoalesced
+// (waited on another's in-flight computation). Counters, resolved from
+// ctx's obs registry (nil-safe): <name>_hits_total, <name>_misses_total,
+// and <name>_coalesced_total; the cache's own atomic mirrors back
+// Predictor.CacheStats without needing a registry.
+func (c *cache) get(ctx context.Context, key string, compute func(context.Context) (any, error)) (any, hitKind, error) {
 	meter := obs.From(ctx).Meter()
 	for {
 		if err := ctx.Err(); err != nil {
-			return nil, false, err
+			return nil, hitMiss, err
 		}
 		c.mu.Lock()
 		e, ok := c.m[key]
 		if !ok {
-			e = &entry{done: make(chan struct{})}
+			e = &entry{done: make(chan struct{}), leaderTrace: obs.SpanFrom(ctx).TraceID()}
 			c.m[key] = e
 			c.mu.Unlock()
 			meter.Counter(c.name + "_misses_total").Inc()
-			e.val, e.err = compute(ctx)
+			c.misses.Add(1)
+			sctx, sp := obs.StartSpan(ctx, c.span+".compute")
+			sp.Annotate(obs.AttrOutcome, "cold")
+			e.val, e.err = compute(sctx)
+			sp.End()
 			if e.err != nil {
 				c.mu.Lock()
 				delete(c.m, key)
 				c.mu.Unlock()
 			}
 			close(e.done)
-			return e.val, false, e.err
+			return e.val, hitMiss, e.err
 		}
 		c.mu.Unlock()
 
@@ -80,24 +130,38 @@ func (c *cache) get(ctx context.Context, key string, compute func(context.Contex
 			settled = true
 		default:
 			meter.Counter(c.name + "_coalesced_total").Inc()
+			c.coalesced.Add(1)
 		}
+		kind := hitCoalesced
 		if !settled {
+			_, sp := obs.StartSpan(ctx, c.span+".wait")
+			sp.Annotate(obs.AttrOutcome, "coalesced")
+			if e.leaderTrace != "" {
+				sp.Annotate(obs.AttrLeaderTrace, e.leaderTrace)
+			}
 			select {
 			case <-ctx.Done():
-				return nil, false, ctx.Err()
+				sp.End()
+				return nil, hitMiss, ctx.Err()
 			case <-e.done:
 			}
+			sp.End()
+		} else {
+			kind = hitSettled
 		}
 		if e.err == nil {
-			meter.Counter(c.name + "_hits_total").Inc()
-			return e.val, true, nil
+			if kind == hitSettled {
+				meter.Counter(c.name + "_hits_total").Inc()
+				c.hits.Add(1)
+			}
+			return e.val, kind, nil
 		}
 		if errors.Is(e.err, context.Canceled) || errors.Is(e.err, context.DeadlineExceeded) {
 			// The leader's own context died; its failure says nothing
 			// about the computation. Re-enter and elect a new leader.
 			continue
 		}
-		return nil, true, e.err
+		return nil, kind, e.err
 	}
 }
 
@@ -106,4 +170,14 @@ func (c *cache) size() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return len(c.m)
+}
+
+// stat snapshots the cache for CacheStats.
+func (c *cache) stat() CacheStat {
+	return CacheStat{
+		Keys:      c.size(),
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Coalesced: c.coalesced.Load(),
+	}
 }

@@ -82,10 +82,16 @@ type Result struct {
 	ObservedSeconds float64 `json:"observed_seconds,omitempty"`
 	SignedErrorPct  float64 `json:"signed_error_pct,omitempty"`
 
-	// Cached reports whether the prediction itself came from the exact
-	// cache (or a coalesced wait on another request's computation)
-	// rather than being convolved by this request.
+	// Cached reports whether the prediction came from the exact cache
+	// (or a coalesced wait on another request's computation) rather
+	// than this request leading a computation on any layer.
 	Cached bool `json:"cached"`
+	// Outcome classifies the request against the caches, taking the
+	// coldest layer touched: "cold" when this request led at least one
+	// underlying computation, "coalesced" when it led nothing but
+	// waited on another request's in-flight computation, "cached" when
+	// every layer was an exact settled hit.
+	Outcome string `json:"outcome"`
 }
 
 // RankRequest asks for machines ordered fastest-first for one cell.
@@ -154,10 +160,37 @@ func New(cfg Config) *Predictor {
 	return &Predictor{
 		base:         machine.Base(),
 		workers:      cfg.Workers,
-		probeCache:   newCache("predictor_probe_cache"),
-		cellCache:    newCache("predictor_cell_cache"),
-		predictCache: newCache("predictor_predict_cache"),
-		observeCache: newCache("predictor_observe_cache"),
+		probeCache:   newCache("predictor_probe_cache", "probes"),
+		cellCache:    newCache("predictor_cell_cache", "cell"),
+		predictCache: newCache("predictor_predict_cache", "predict"),
+		observeCache: newCache("predictor_observe_cache", "observe"),
+	}
+}
+
+// outcomeAgg folds per-layer hitKinds into the request-level outcome:
+// the coldest layer wins (cold > coalesced > cached).
+type outcomeAgg struct {
+	kind hitKind
+	any  bool
+}
+
+func (a *outcomeAgg) add(k hitKind) {
+	if !a.any {
+		a.kind, a.any = k, true
+		return
+	}
+	// hitMiss ("cold") dominates, then hitCoalesced, then hitSettled.
+	rank := func(k hitKind) int {
+		switch k {
+		case hitMiss:
+			return 2
+		case hitCoalesced:
+			return 1
+		}
+		return 0
+	}
+	if rank(k) > rank(a.kind) {
+		a.kind = k
 	}
 }
 
@@ -199,20 +232,20 @@ func (p *Predictor) resolve(app, caseName string, procs int, machineName string,
 }
 
 // probesFor returns the machine's memoized probe suite.
-func (p *Predictor) probesFor(ctx context.Context, cfg *machine.Config) (*probes.Results, error) {
-	v, _, err := p.probeCache.get(ctx, cfg.Name, func(ctx context.Context) (any, error) {
+func (p *Predictor) probesFor(ctx context.Context, cfg *machine.Config) (*probes.Results, hitKind, error) {
+	v, kind, err := p.probeCache.get(ctx, cfg.Name, func(ctx context.Context) (any, error) {
 		return p.eng.Probes(ctx, cfg)
 	})
 	if err != nil {
-		return nil, err
+		return nil, kind, err
 	}
-	return v.(*probes.Results), nil
+	return v.(*probes.Results), kind, nil
 }
 
 // cellFor returns the cell's memoized base run and trace.
-func (p *Predictor) cellFor(ctx context.Context, tc apps.TestCase, procs int) (cellValue, error) {
+func (p *Predictor) cellFor(ctx context.Context, tc apps.TestCase, procs int) (cellValue, hitKind, error) {
 	key := fmt.Sprintf("%s@%d", tc.ID(), procs)
-	v, _, err := p.cellCache.get(ctx, key, func(ctx context.Context) (any, error) {
+	v, kind, err := p.cellCache.get(ctx, key, func(ctx context.Context) (any, error) {
 		app, err := tc.Instance(procs)
 		if err != nil {
 			return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
@@ -228,15 +261,15 @@ func (p *Predictor) cellFor(ctx context.Context, tc apps.TestCase, procs int) (c
 		return cellValue{baseSeconds: run.Seconds, tr: tr}, nil
 	})
 	if err != nil {
-		return cellValue{}, err
+		return cellValue{}, kind, err
 	}
-	return v.(cellValue), nil
+	return v.(cellValue), kind, nil
 }
 
 // observeFor returns the cell's memoized ground truth on one machine.
-func (p *Predictor) observeFor(ctx context.Context, tc apps.TestCase, procs int, target *machine.Config) (observation, error) {
+func (p *Predictor) observeFor(ctx context.Context, tc apps.TestCase, procs int, target *machine.Config) (observation, hitKind, error) {
 	key := fmt.Sprintf("%s@%d|%s", tc.ID(), procs, target.Name)
-	v, _, err := p.observeCache.get(ctx, key, func(ctx context.Context) (any, error) {
+	v, kind, err := p.observeCache.get(ctx, key, func(ctx context.Context) (any, error) {
 		app, err := tc.Instance(procs)
 		if err != nil {
 			return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
@@ -251,33 +284,38 @@ func (p *Predictor) observeFor(ctx context.Context, tc apps.TestCase, procs int,
 		return observation{seconds: run.Seconds, fits: true}, nil
 	})
 	if err != nil {
-		return observation{}, err
+		return observation{}, kind, err
 	}
-	return v.(observation), nil
+	return v.(observation), kind, nil
 }
 
 // Predict answers one request. Identical concurrent cold requests are
 // coalesced: the probe suites, the base run + trace, and the prediction
-// itself each run exactly once.
+// itself each run exactly once. The result's Outcome reports the
+// coldest cache layer the request touched.
 func (p *Predictor) Predict(ctx context.Context, req Request) (*Result, error) {
 	r, err := p.resolve(req.App, req.Case, req.Procs, req.Machine, req.MetricID)
 	if err != nil {
 		return nil, err
 	}
-	basePr, err := p.probesFor(ctx, p.base)
+	var agg outcomeAgg
+	basePr, kind, err := p.probesFor(ctx, p.base)
 	if err != nil {
 		return nil, err
 	}
-	targetPr, err := p.probesFor(ctx, r.target)
+	agg.add(kind)
+	targetPr, kind, err := p.probesFor(ctx, r.target)
 	if err != nil {
 		return nil, err
 	}
-	cell, err := p.cellFor(ctx, r.tc, r.procs)
+	agg.add(kind)
+	cell, kind, err := p.cellFor(ctx, r.tc, r.procs)
 	if err != nil {
 		return nil, err
 	}
+	agg.add(kind)
 	predKey := fmt.Sprintf("%s@%d|%s|%d", r.tc.ID(), r.procs, r.target.Name, r.metric.ID)
-	v, cached, err := p.predictCache.get(ctx, predKey, func(ctx context.Context) (any, error) {
+	v, kind, err := p.predictCache.get(ctx, predKey, func(ctx context.Context) (any, error) {
 		return p.eng.PredictMetric(ctx, r.metric, metrics.Context{
 			Trace: cell.tr, Base: basePr, Target: targetPr, BaseSeconds: cell.baseSeconds,
 		})
@@ -285,19 +323,20 @@ func (p *Predictor) Predict(ctx context.Context, req Request) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	agg.add(kind)
 	res := &Result{
 		App: r.tc.Name, Case: r.tc.Case, Procs: r.procs, Machine: r.target.Name,
 		MetricID: r.metric.ID, MetricLabel: r.metric.Label(), MetricName: r.metric.Name,
 		BaseMachine: p.base.Name, BaseSeconds: cell.baseSeconds,
 		PredictedSeconds: v.(float64),
 		Fits:             r.procs <= r.target.TotalProcs,
-		Cached:           cached,
 	}
 	if req.Observed {
-		o, err := p.observeFor(ctx, r.tc, r.procs, r.target)
+		o, kind, err := p.observeFor(ctx, r.tc, r.procs, r.target)
 		if err != nil {
 			return nil, err
 		}
+		agg.add(kind)
 		if o.fits {
 			res.HasObserved = true
 			res.ObservedSeconds = o.seconds
@@ -305,6 +344,8 @@ func (p *Predictor) Predict(ctx context.Context, req Request) (*Result, error) {
 		}
 		res.Fits = o.fits
 	}
+	res.Outcome = agg.kind.String()
+	res.Cached = agg.kind.cached()
 	return res, nil
 }
 
@@ -360,13 +401,37 @@ func (p *Predictor) Rank(ctx context.Context, req RankRequest) (*Ranking, error)
 	}, nil
 }
 
+// CacheStat is one memoization layer's live view: how many keys it
+// holds and how traffic against it resolved.
+type CacheStat struct {
+	// Keys is the layer's keyspace size (settled + in-flight slots).
+	Keys int `json:"keys"`
+	// Hits counts exact settled hits; Misses counts led computations;
+	// Coalesced counts waits on another request's in-flight slot.
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Coalesced int64 `json:"coalesced"`
+}
+
+// CacheStats reports each memoization layer's keyspace size and
+// hit/miss/coalesce traffic — the backing for /v1/cache and /v1/status.
+// The counts are the predictor's own (process-lifetime), independent of
+// any obs registry on request contexts.
+func (p *Predictor) CacheStats() map[string]CacheStat {
+	return map[string]CacheStat{
+		"probes":       p.probeCache.stat(),
+		"cells":        p.cellCache.stat(),
+		"predictions":  p.predictCache.stat(),
+		"observations": p.observeCache.stat(),
+	}
+}
+
 // CacheSizes reports how many keys each memoization layer holds, for
 // introspection endpoints and tests.
 func (p *Predictor) CacheSizes() map[string]int {
-	return map[string]int{
-		"probes":       p.probeCache.size(),
-		"cells":        p.cellCache.size(),
-		"predictions":  p.predictCache.size(),
-		"observations": p.observeCache.size(),
+	sizes := make(map[string]int, 4)
+	for layer, st := range p.CacheStats() {
+		sizes[layer] = st.Keys
 	}
+	return sizes
 }

@@ -55,11 +55,28 @@ func TestPredictCoalescesColdHerd(t *testing.T) {
 		}
 	}
 	want := math.Float64bits(results[0].PredictedSeconds)
+	colds := 0
 	for i, res := range results {
 		if math.Float64bits(res.PredictedSeconds) != want {
 			t.Errorf("request %d predicted %v, request 0 predicted %v: cache hits are not exact",
 				i, res.PredictedSeconds, results[0].PredictedSeconds)
 		}
+		switch res.Outcome {
+		case "cold":
+			colds++
+			if res.Cached {
+				t.Errorf("request %d: cold outcome but Cached=true", i)
+			}
+		case "coalesced", "cached":
+			if !res.Cached {
+				t.Errorf("request %d: %s outcome but Cached=false", i, res.Outcome)
+			}
+		default:
+			t.Errorf("request %d: outcome %q, want cold/coalesced/cached", i, res.Outcome)
+		}
+	}
+	if colds == 0 {
+		t.Error("no herd member reported a cold outcome; someone must have led")
 	}
 
 	meter := o.Metrics
@@ -88,6 +105,27 @@ func TestPredictCoalescesColdHerd(t *testing.T) {
 	}
 	if !res.Cached {
 		t.Error("repeat request not reported as cached")
+	}
+	if res.Outcome != "cached" {
+		t.Errorf("repeat request outcome %q, want cached (every layer settled)", res.Outcome)
+	}
+	stats := p.CacheStats()
+	for _, layer := range []string{"probes", "cells", "predictions", "observations"} {
+		if _, ok := stats[layer]; !ok {
+			t.Errorf("CacheStats missing layer %q: %v", layer, stats)
+		}
+	}
+	if st := stats["predictions"]; st.Keys != 1 || st.Misses != 1 {
+		t.Errorf("predictions layer stat = %+v, want 1 key, 1 miss", st)
+	}
+	if st := stats["cells"]; st.Keys != 1 || st.Misses != 1 {
+		t.Errorf("cells layer stat = %+v, want 1 key, 1 miss", st)
+	}
+	if st := stats["probes"]; st.Keys != 2 || st.Misses != 2 {
+		t.Errorf("probes layer stat = %+v, want 2 keys, 2 misses", st)
+	}
+	if st := stats["observations"]; st.Keys != 0 {
+		t.Errorf("observations layer stat = %+v, want untouched", st)
 	}
 	if math.Float64bits(res.PredictedSeconds) != want {
 		t.Errorf("cached prediction %v differs from cold %v", res.PredictedSeconds, results[0].PredictedSeconds)
@@ -210,7 +248,7 @@ func TestResolveRejectsBadRequests(t *testing.T) {
 // TestCacheDoesNotCacheErrors: a failed computation leaves no residue;
 // the next request recomputes and can succeed.
 func TestCacheDoesNotCacheErrors(t *testing.T) {
-	c := newCache("t")
+	c := newCache("t", "t")
 	ctx := context.Background()
 	calls := 0
 	boom := errors.New("boom")
@@ -220,12 +258,12 @@ func TestCacheDoesNotCacheErrors(t *testing.T) {
 	}); !errors.Is(err, boom) {
 		t.Fatalf("err = %v, want boom", err)
 	}
-	v, cached, err := c.get(ctx, "k", func(context.Context) (any, error) {
+	v, kind, err := c.get(ctx, "k", func(context.Context) (any, error) {
 		calls++
 		return 42, nil
 	})
-	if err != nil || v.(int) != 42 || cached {
-		t.Fatalf("second get = (%v, cached=%v, %v), want fresh 42", v, cached, err)
+	if err != nil || v.(int) != 42 || kind.cached() {
+		t.Fatalf("second get = (%v, kind=%v, %v), want fresh 42", v, kind, err)
 	}
 	if calls != 2 {
 		t.Fatalf("compute ran %d times, want 2 (error not cached)", calls)
@@ -239,7 +277,7 @@ func TestCacheDoesNotCacheErrors(t *testing.T) {
 // dying must not fail the followers coalesced behind it — they elect a
 // new leader and still get an answer.
 func TestCacheFollowerSurvivesLeaderCancellation(t *testing.T) {
-	c := newCache("t")
+	c := newCache("t", "t")
 	lctx, lcancel := context.WithCancel(context.Background())
 	started := make(chan struct{})
 	leaderDone := make(chan error, 1)
@@ -281,10 +319,87 @@ func TestCacheFollowerSurvivesLeaderCancellation(t *testing.T) {
 	}
 }
 
+// TestCacheEmitsOutcomeSpans: under a traced request context, a cold
+// get runs its computation inside a "<layer>.compute" span (outcome
+// cold) and a coalesced follower's wait is a "<layer>.wait" span
+// annotated with the leader's trace ID — the attributes tracecheck
+// -serve joins on.
+func TestCacheEmitsOutcomeSpans(t *testing.T) {
+	c := newCache("t_cache", "layer")
+	o := obs.New()
+
+	leaderCtx, leaderRoot := obs.StartRequestSpan(o.Inject(context.Background()), "predict", "")
+	followerCtx, followerRoot := obs.StartRequestSpan(o.Inject(context.Background()), "predict", "")
+
+	started := make(chan struct{})
+	release := make(chan struct{})
+	leaderDone := make(chan struct{})
+	go func() {
+		defer close(leaderDone)
+		if _, kind, err := c.get(leaderCtx, "k", func(context.Context) (any, error) {
+			close(started)
+			<-release
+			return "v", nil
+		}); err != nil || kind != hitMiss {
+			t.Errorf("leader get = (kind=%v, %v), want led miss", kind, err)
+		}
+	}()
+	<-started
+	followerDone := make(chan struct{})
+	go func() {
+		defer close(followerDone)
+		if _, kind, err := c.get(followerCtx, "k", func(context.Context) (any, error) {
+			return nil, fmt.Errorf("follower must not lead")
+		}); err != nil || kind != hitCoalesced {
+			t.Errorf("follower get = (kind=%v, %v), want coalesced", kind, err)
+		}
+	}()
+	// Let the follower reach its wait before releasing the leader, so
+	// the coalesced path is taken (same idea as the tests above).
+	time.Sleep(10 * time.Millisecond)
+	close(release)
+	<-leaderDone
+	<-followerDone
+	leaderRoot.End()
+	followerRoot.End()
+
+	var compute, wait *obs.SpanRecord
+	for _, rec := range o.Tracer.Records() {
+		rec := rec
+		switch rec.Name {
+		case "layer.compute":
+			compute = &rec
+		case "layer.wait":
+			wait = &rec
+		}
+	}
+	if compute == nil || wait == nil {
+		t.Fatalf("span log missing compute/wait spans: %+v", o.Tracer.Records())
+	}
+	if compute.Attrs[obs.AttrOutcome] != "cold" || compute.Trace != leaderRoot.TraceID() {
+		t.Errorf("compute span = %+v, want outcome cold under leader trace %s", compute, leaderRoot.TraceID())
+	}
+	if wait.Attrs[obs.AttrOutcome] != "coalesced" {
+		t.Errorf("wait span outcome = %q, want coalesced", wait.Attrs[obs.AttrOutcome])
+	}
+	if wait.Attrs[obs.AttrLeaderTrace] != leaderRoot.TraceID() {
+		t.Errorf("wait span leader_trace = %q, want the leader's trace %s",
+			wait.Attrs[obs.AttrLeaderTrace], leaderRoot.TraceID())
+	}
+	if wait.Trace != followerRoot.TraceID() {
+		t.Errorf("wait span trace = %q, want the follower's own trace %s", wait.Trace, followerRoot.TraceID())
+	}
+
+	st := c.stat()
+	if st.Keys != 1 || st.Misses != 1 || st.Coalesced != 1 || st.Hits != 0 {
+		t.Errorf("cache stat = %+v, want 1 key, 1 miss, 1 coalesced", st)
+	}
+}
+
 // TestCacheWaiterHonorsOwnDeadline: a follower whose own context expires
 // abandons the wait with its context's error, leaving the leader alone.
 func TestCacheWaiterHonorsOwnDeadline(t *testing.T) {
-	c := newCache("t")
+	c := newCache("t", "t")
 	started := make(chan struct{})
 	release := make(chan struct{})
 	leaderDone := make(chan struct{})
@@ -313,10 +428,10 @@ func TestCacheWaiterHonorsOwnDeadline(t *testing.T) {
 	<-leaderDone
 
 	// The leader's value settled and is served as a hit.
-	v, cached, err := c.get(context.Background(), "k", func(context.Context) (any, error) {
+	v, kind, err := c.get(context.Background(), "k", func(context.Context) (any, error) {
 		return nil, fmt.Errorf("must hit")
 	})
-	if err != nil || !cached || v.(string) != "slow" {
-		t.Fatalf("post-settle get = (%v, cached=%v, %v), want cached slow", v, cached, err)
+	if err != nil || kind != hitSettled || v.(string) != "slow" {
+		t.Fatalf("post-settle get = (%v, kind=%v, %v), want settled slow", v, kind, err)
 	}
 }
