@@ -1,0 +1,587 @@
+// The self-healing coordinator for distributed study campaigns.
+//
+// `metricstudy -coordinator -shards N -checkpoint-dir dir` spawns N
+// shard workers as child processes — each a `metricstudy -shard-index i
+// -shard-count N` run journaling its slice into dir/shard<i>.ckpt — and
+// supervises them to completion:
+//
+//   - Heartbeats are journal growth. The journal is the shard's product,
+//     so "the file stopped growing" is the only liveness signal that
+//     matters; there is no side channel to lie on.
+//   - A crashed or killed worker is restarted with -resume (a fresh
+//     process slot, the same journal), re-doing only unjournaled cells,
+//     up to -max-restarts per shard.
+//   - A shard whose journal is silent past -straggle-timeout gets its
+//     remaining work stolen: the journal is snapshot-copied (atomic
+//     renames make the copy a consistent prefix) and a stealer worker
+//     with the same shard identity resumes it tail-first into
+//     dir/shard<i>-steal.ckpt. Whichever process finishes first wins;
+//     the loser is killed, and merge-time first-record-wins dedup makes
+//     any overlap harmless.
+//   - A journal corrupted beyond a torn tail is quarantined (renamed
+//     *.quarantined, reported by shard name on stderr) instead of being
+//     restarted into or aborting the campaign; the merge run recomputes
+//     the missing units.
+//
+// When every shard is done or abandoned, the coordinator becomes the
+// merge run: main() continues into study.RunContext with CheckpointDir,
+// which folds the shard journals and computes predictions and tables —
+// bit-identical to a single-process run of the same options.
+//
+// The -chaos-* flags make the failure modes reproducible: -chaos-kill
+// SIGKILLs a worker once its journal reaches a record count, -chaos-stop
+// SIGSTOPs one (a true straggler), and -chaos-corrupt flips a checksum
+// bit mid-journal after the shard completes. The distributed chaos suite
+// drives all three and still demands byte-identical Table 4.
+
+package main
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"hpcmetrics/internal/persist"
+)
+
+// coord supervises one distributed campaign.
+type coord struct {
+	dir         string
+	shards      int
+	workersPer  int
+	straggle    time.Duration
+	maxRestarts int
+	traced      bool
+	workerArgs  []string // flags forwarded verbatim to every worker
+
+	chaosKill    map[string]int // shard name → journal record count that triggers SIGKILL
+	chaosStop    map[string]int // shard name → record count that triggers SIGSTOP
+	chaosCorrupt map[string]bool
+
+	exe       string
+	nextSlot  int
+	killFired map[string]bool
+	stopFired map[string]bool
+}
+
+// workerProc is one spawned shard process (initial, restart, or
+// stealer).
+type workerProc struct {
+	slot    int
+	journal string
+	cmd     *exec.Cmd
+	exit    chan error
+
+	exited        bool
+	err           error
+	handled       bool
+	killedByCoord bool
+}
+
+// shardState tracks one slice of the grid across worker generations.
+type shardState struct {
+	index   int
+	name    string
+	journal string
+
+	primary *workerProc
+	stealer *workerProc
+	winner  *workerProc // the process whose journal covers the slice
+
+	done       bool
+	abandoned  bool
+	stolen     bool
+	restarts   int
+	corrupted  bool
+	lastSize   int64
+	lastGrowth time.Time
+}
+
+// workerArgs collects the explicitly-set flags a shard worker inherits
+// from the coordinator's command line: the study shape (apps, targets,
+// budgets, fault plan) is forwarded verbatim; coordinator-only flags,
+// output selection, and per-worker identity are excluded because the
+// coordinator decides those itself per spawn.
+func workerArgs(fs *flag.FlagSet) []string {
+	excluded := map[string]bool{
+		"coordinator": true, "shards": true, "checkpoint-dir": true,
+		"straggle-timeout": true, "max-restarts": true, "checkpoint-info": true,
+		"chaos-kill": true, "chaos-stop": true, "chaos-corrupt": true,
+		"shard-index": true, "shard-count": true, "shard-name": true,
+		"shard-tail": true, "shard-slot": true,
+		"checkpoint": true, "resume": true, "workers": true,
+		"csv": true, "quiet": true, "only": true,
+		"trace": true, "spans": true, "manifest": true, "prom": true,
+		"cpuprofile": true, "memprofile": true, "tracefile": true,
+	}
+	var out []string
+	fs.Visit(func(f *flag.Flag) {
+		if excluded[f.Name] {
+			return
+		}
+		out = append(out, "-"+f.Name+"="+f.Value.String())
+	})
+	return out
+}
+
+// parseChaosAt parses "name@records" pairs, comma-separated.
+func parseChaosAt(spec string) (map[string]int, error) {
+	out := make(map[string]int)
+	for _, part := range splitList(spec) {
+		name, at, ok := strings.Cut(part, "@")
+		if !ok {
+			return nil, fmt.Errorf("chaos trigger %q: want name@records", part)
+		}
+		n, err := strconv.Atoi(at)
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("chaos trigger %q: bad record count", part)
+		}
+		out[name] = n
+	}
+	return out, nil
+}
+
+func (c *coord) logf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "metricstudy: coordinator: "+format+"\n", args...)
+}
+
+func (c *coord) run(ctx context.Context) error {
+	if c.dir == "" {
+		return fmt.Errorf("-coordinator needs -checkpoint-dir")
+	}
+	if c.shards < 2 {
+		return fmt.Errorf("-coordinator needs -shards >= 2 (got %d)", c.shards)
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		return err
+	}
+	c.exe = exe
+	c.killFired = make(map[string]bool)
+	c.stopFired = make(map[string]bool)
+	if c.workersPer <= 0 {
+		// Split the machine across the fleet rather than letting every
+		// worker default to a full GOMAXPROCS pool.
+		c.workersPer = runtime.GOMAXPROCS(0) / c.shards
+		if c.workersPer < 1 {
+			c.workersPer = 1
+		}
+	}
+	if err := os.MkdirAll(c.dir, 0o755); err != nil {
+		return err
+	}
+	// A coordinator campaign starts fresh: stale shard artifacts from a
+	// previous campaign under a different tag would poison the merge.
+	for _, pat := range []string{"*.ckpt", "*.ckpt.quarantined", "*.spans.jsonl", "*.manifest.json", "*.log"} {
+		matches, err := filepath.Glob(filepath.Join(c.dir, pat))
+		if err != nil {
+			return err
+		}
+		for _, m := range matches {
+			if err := os.Remove(m); err != nil {
+				return err
+			}
+		}
+	}
+
+	states := make([]*shardState, c.shards)
+	for i := range states {
+		s := &shardState{index: i, name: fmt.Sprintf("shard%d", i)}
+		s.journal = filepath.Join(c.dir, s.name+".ckpt")
+		w, err := c.spawn(ctx, s, s.journal, false, false)
+		if err != nil {
+			return err
+		}
+		s.primary = w
+		s.lastGrowth = time.Now()
+		states[i] = s
+	}
+	c.logf("spawned %d shard workers into %s", c.shards, c.dir)
+
+	tick := time.NewTicker(200 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-tick.C:
+		}
+		allSettled := true
+		for _, s := range states {
+			if err := c.supervise(ctx, s); err != nil {
+				return err
+			}
+			settled := s.abandoned || (s.done && (!c.chaosCorrupt[s.name] || s.corrupted))
+			if !settled {
+				allSettled = false
+			}
+		}
+		if allSettled {
+			var abandoned []string
+			for _, s := range states {
+				if s.abandoned {
+					abandoned = append(abandoned, s.name)
+				}
+			}
+			if len(abandoned) > 0 {
+				c.logf("campaign settled with abandoned shard(s) %v; the merge recomputes their units", abandoned)
+			} else {
+				c.logf("all %d shards complete; merging", c.shards)
+			}
+			return nil
+		}
+	}
+}
+
+// supervise advances one shard's state machine by one tick: reap exits,
+// fire chaos triggers, detect stragglers.
+func (c *coord) supervise(ctx context.Context, s *shardState) error {
+	if s.abandoned {
+		return nil
+	}
+	pollExit(s.primary)
+	pollExit(s.stealer)
+	if s.done {
+		c.applyCorruptChaos(s)
+		return nil
+	}
+
+	if w := s.primary; w != nil && w.exited && !w.handled {
+		w.handled = true
+		switch {
+		case w.killedByCoord:
+			// The loser of a completed steal; the shard is already done.
+		case w.err == nil:
+			c.completeShard(s, w, s.stealer)
+		default:
+			if err := c.handleCrash(ctx, s, w); err != nil {
+				return err
+			}
+		}
+	}
+	if w := s.stealer; w != nil && w.exited && !w.handled {
+		w.handled = true
+		switch {
+		case w.killedByCoord:
+		case w.err == nil:
+			c.completeShard(s, w, s.primary)
+		default:
+			// A dead stealer costs nothing: its journal is a valid
+			// partial, and the victim (or its restarts) still owns the
+			// slice.
+			c.logf("stealer for %s exited with %v; victim keeps the slice", s.name, w.err)
+		}
+	}
+	if s.done || s.abandoned {
+		return nil
+	}
+
+	c.fireChaos(s)
+
+	// Heartbeat: journal growth. Stat size is enough — every append is
+	// an atomic whole-file rewrite, so any progress changes the size.
+	if st, err := os.Stat(s.journal); err == nil && st.Size() != s.lastSize {
+		s.lastSize = st.Size()
+		s.lastGrowth = time.Now()
+	}
+	// A shard is a straggler only once it has journaled at least one
+	// record and then gone silent: before the first record, silence is
+	// indistinguishable from startup, and an empty snapshot would hand a
+	// stealer the whole slice anyway (dead-at-start workers are the
+	// crash-restart path's job).
+	if !s.stolen && s.primary != nil && !s.primary.exited &&
+		time.Since(s.lastGrowth) > c.straggle && countRecords(s.journal) >= 1 {
+		if err := c.steal(ctx, s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// signalProc delivers sig to a worker, tolerating the one race
+// supervision invites: the process finishing right before the signal.
+func (c *coord) signalProc(w *workerProc, sig syscall.Signal) {
+	if w.cmd.Process == nil {
+		return
+	}
+	if err := w.cmd.Process.Signal(sig); err != nil && !errors.Is(err, os.ErrProcessDone) {
+		c.logf("signaling worker slot %d with %v: %v", w.slot, sig, err)
+	}
+}
+
+// pollExit drains a worker's exit notification without blocking.
+func pollExit(w *workerProc) {
+	if w == nil || w.exited {
+		return
+	}
+	select {
+	case err := <-w.exit:
+		w.exited = true
+		w.err = err
+	default:
+	}
+}
+
+// completeShard marks s done and kills the losing process (if any).
+// The -chaos-corrupt knob is applied later, once every process of the
+// shard has exited (applyCorruptChaos) — a dying loser could otherwise
+// rewrite a journal after the knob touched it.
+func (c *coord) completeShard(s *shardState, winner, loser *workerProc) {
+	s.done = true
+	s.winner = winner
+	if loser != nil && !loser.exited {
+		loser.killedByCoord = true
+		c.signalProc(loser, syscall.SIGKILL)
+		c.logf("shard %s finished; killed the redundant worker (slot %d)", s.name, loser.slot)
+	}
+}
+
+// applyCorruptChaos applies a pending -chaos-corrupt trigger for a
+// completed shard: the journal that covers the slice (the winner's) is
+// corrupted mid-file and the shard's other journal, if any, removed, so
+// the merge run provably has to quarantine the slice and recompute it —
+// even when an opportunistic steal left a second snapshot behind.
+func (c *coord) applyCorruptChaos(s *shardState) {
+	if !c.chaosCorrupt[s.name] || s.corrupted {
+		return
+	}
+	if (s.primary != nil && !s.primary.exited) || (s.stealer != nil && !s.stealer.exited) {
+		return // a live process could still rewrite a journal; wait
+	}
+	s.corrupted = true
+	target := s.journal
+	if s.winner != nil {
+		target = s.winner.journal
+	}
+	for _, other := range []string{s.journal, filepath.Join(c.dir, s.name+"-steal.ckpt")} {
+		if other == target {
+			continue
+		}
+		if err := os.Remove(other); err != nil && !os.IsNotExist(err) {
+			c.logf("chaos: removing %s: %v", other, err)
+		}
+	}
+	if err := corruptJournal(target); err != nil {
+		c.logf("chaos: could not corrupt %s: %v", target, err)
+	} else {
+		c.logf("chaos: corrupted %s mid-file and dropped any other journal of %s", target, s.name)
+	}
+}
+
+// handleCrash triages a dead primary worker: quarantine a corrupt
+// journal, restart within budget, or abandon the shard to the merge.
+func (c *coord) handleCrash(ctx context.Context, s *shardState, w *workerProc) error {
+	info, ierr := persist.Inspect(s.journal)
+	if ierr == nil && info.Status == persist.JournalCorrupt {
+		quarantined := s.journal + ".quarantined"
+		if err := os.Rename(s.journal, quarantined); err != nil {
+			return fmt.Errorf("quarantining %s: %w", s.journal, err)
+		}
+		fmt.Fprintf(os.Stderr, "metricstudy: quarantined shard journal %s: corrupt record at line %d with %d intact records stranded after it\n",
+			s.journal, info.BadLine, info.Stranded)
+		s.abandoned = true
+		if st := s.stealer; st != nil && !st.exited {
+			st.killedByCoord = true
+			c.signalProc(st, syscall.SIGKILL)
+		}
+		return nil
+	}
+	if s.restarts >= c.maxRestarts {
+		c.logf("shard %s exceeded %d restarts; abandoning the slice to the merge", s.name, c.maxRestarts)
+		s.abandoned = true
+		return nil
+	}
+	s.restarts++
+	c.logf("shard %s worker (slot %d) exited with %v; restarting with -resume (attempt %d/%d)",
+		s.name, w.slot, w.err, s.restarts, c.maxRestarts)
+	nw, err := c.spawn(ctx, s, s.journal, true, false)
+	if err != nil {
+		return err
+	}
+	s.primary = nw
+	s.lastGrowth = time.Now()
+	return nil
+}
+
+// steal snapshots a straggler's journal and spawns a tail-first stealer
+// with the same shard identity on the copy.
+func (c *coord) steal(ctx context.Context, s *shardState) error {
+	snapshot, err := os.ReadFile(s.journal)
+	if err != nil {
+		// No journal yet: the worker never journaled a unit. Restart
+		// pressure comes from the crash path; just wait.
+		return nil
+	}
+	stealPath := filepath.Join(c.dir, s.name+"-steal.ckpt")
+	if err := os.WriteFile(stealPath, snapshot, 0o644); err != nil {
+		return err
+	}
+	s.stolen = true
+	w, err := c.spawn(ctx, s, stealPath, true, true)
+	if err != nil {
+		return err
+	}
+	s.stealer = w
+	c.logf("shard %s silent for %s; stealing its remaining work (slot %d, tail-first)", s.name, c.straggle, w.slot)
+	return nil
+}
+
+// fireChaos applies pending -chaos-kill/-chaos-stop triggers for s.
+func (c *coord) fireChaos(s *shardState) {
+	w := s.primary
+	if w == nil || w.exited {
+		return
+	}
+	if at, ok := c.chaosKill[s.name]; ok && !c.killFired[s.name] && countRecords(s.journal) >= at {
+		c.killFired[s.name] = true
+		c.signalProc(w, syscall.SIGKILL)
+		c.logf("chaos: SIGKILLed shard %s worker (slot %d) at %d journal records", s.name, w.slot, at)
+	}
+	if at, ok := c.chaosStop[s.name]; ok && !c.stopFired[s.name] && countRecords(s.journal) >= at {
+		c.stopFired[s.name] = true
+		c.signalProc(w, syscall.SIGSTOP)
+		c.logf("chaos: SIGSTOPped shard %s worker (slot %d) at %d journal records", s.name, w.slot, at)
+	}
+}
+
+// spawn starts one shard worker process journaling into journal.
+func (c *coord) spawn(ctx context.Context, s *shardState, journal string, resume, tail bool) (*workerProc, error) {
+	slot := c.nextSlot
+	c.nextSlot++
+	args := []string{
+		"-quiet", "-csv", "-only", "none",
+		"-shard-index", strconv.Itoa(s.index),
+		"-shard-count", strconv.Itoa(c.shards),
+		"-shard-name", s.name,
+		"-shard-slot", strconv.Itoa(slot),
+		"-checkpoint", journal,
+		"-workers", strconv.Itoa(c.workersPer),
+	}
+	if resume {
+		args = append(args, "-resume")
+	}
+	if tail {
+		args = append(args, "-shard-tail")
+	}
+	if c.traced {
+		stem := filepath.Join(c.dir, fmt.Sprintf("%s.slot%d", s.name, slot))
+		args = append(args,
+			"-spans", stem+".spans.jsonl",
+			"-manifest", stem+".manifest.json",
+		)
+	}
+	args = append(args, c.workerArgs...)
+
+	logf, err := os.OpenFile(filepath.Join(c.dir, s.name+".log"), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	cmd := exec.CommandContext(ctx, c.exe, args...)
+	cmd.Stdout = logf
+	cmd.Stderr = logf
+	startErr := cmd.Start()
+	// After Start the child holds its own descriptor; the coordinator's
+	// copy is closed either way.
+	if cerr := logf.Close(); cerr != nil && startErr == nil {
+		c.logf("closing %s log: %v", s.name, cerr)
+	}
+	if startErr != nil {
+		return nil, fmt.Errorf("spawning %s worker: %w", s.name, startErr)
+	}
+	w := &workerProc{slot: slot, journal: journal, cmd: cmd, exit: make(chan error, 1)}
+	go func() {
+		err := cmd.Wait()
+		select {
+		case w.exit <- err:
+		default:
+		}
+	}()
+	return w, nil
+}
+
+// countRecords returns how many record lines a journal holds (0 when
+// unreadable or empty).
+func countRecords(path string) int {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return 0
+	}
+	n := -1 // discount the header
+	for _, line := range bytes.Split(raw, []byte("\n")) {
+		if len(bytes.TrimSpace(line)) > 0 {
+			n++
+		}
+	}
+	if n < 0 {
+		return 0
+	}
+	return n
+}
+
+// corruptJournal flips one checksum hex digit on the journal's first
+// record line, leaving later records stranded beyond the bad line — the
+// signature MergeCheckpoints must quarantine (a torn tail would merely
+// be truncated).
+func corruptJournal(path string) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	lines := bytes.Split(raw, []byte("\n"))
+	if len(lines) < 3 || len(bytes.TrimSpace(lines[2])) == 0 {
+		return fmt.Errorf("%s: need at least two records to corrupt mid-file", path)
+	}
+	const marker = `"crc":"`
+	i := bytes.Index(lines[1], []byte(marker))
+	if i < 0 {
+		return fmt.Errorf("%s: first record has no checksum field", path)
+	}
+	pos := i + len(marker)
+	line := append([]byte{}, lines[1]...)
+	if line[pos] == '0' {
+		line[pos] = 'f'
+	} else {
+		line[pos] = '0'
+	}
+	lines[1] = line
+	return os.WriteFile(path, bytes.Join(lines, []byte("\n")), 0o644)
+}
+
+// printCheckpointInfo renders a journal inspection report — the
+// -checkpoint-info triage view.
+func printCheckpointInfo(path string) error {
+	info, err := persist.Inspect(path)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("checkpoint: %s\n", info.Path)
+	fmt.Printf("format: %s, version %d\n", info.Format, info.Version)
+	fmt.Printf("options tag: %s\n", info.BaseTag)
+	if info.Sharded {
+		fmt.Printf("shard: %s\n", info.Shard)
+	}
+	fmt.Printf("records: %d (%d probes, %d cells)\n", info.Records, info.Probes, info.Cells)
+	if info.LastKey != "" {
+		fmt.Printf("last unit: %s\n", info.LastKey)
+	}
+	switch info.Status {
+	case persist.JournalClean:
+		fmt.Println("status: clean")
+	case persist.JournalTornTail:
+		fmt.Printf("status: torn tail (undecodable line %d; a resume truncates it)\n", info.BadLine)
+	case persist.JournalCorrupt:
+		fmt.Printf("status: corrupt (bad record at line %d, %d intact records stranded after it; a merge quarantines this journal)\n",
+			info.BadLine, info.Stranded)
+	}
+	return nil
+}

@@ -1,0 +1,212 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+
+	"hpcmetrics/internal/persist"
+)
+
+// The end-to-end distributed chaos suite: it builds the real metricstudy
+// and tracecheck binaries, runs a coordinator campaign with workers
+// being SIGKILLed, SIGSTOPped (stolen), and corrupted, and demands the
+// merged Table 4 be byte-identical to a sequential single-process run.
+
+var binDir string
+
+func TestMain(m *testing.M) {
+	flag.Parse()
+	if !testing.Short() {
+		dir, err := os.MkdirTemp("", "metricstudy-e2e")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		out, err := exec.Command("go", "build", "-o", dir,
+			"hpcmetrics/cmd/metricstudy", "hpcmetrics/cmd/tracecheck").CombinedOutput()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "building e2e binaries: %v\n%s", err, out)
+			os.Exit(1)
+		}
+		binDir = dir
+	}
+	code := m.Run()
+	if binDir != "" {
+		os.RemoveAll(binDir)
+	}
+	os.Exit(code)
+}
+
+// sliceArgs restrict every run to the chaos slice: one app, two target
+// systems — a grid small enough for subprocess campaigns, big enough to
+// shard three ways.
+var sliceArgs = []string{"-apps", "avus-standard", "-targets", "ARL_Opteron,MHPCC_P3"}
+
+// runBin runs a built binary and fails the test on a non-zero exit.
+func runBin(t *testing.T, bin string, args ...string) (stdout, stderr string) {
+	t.Helper()
+	cmd := exec.Command(filepath.Join(binDir, bin), args...)
+	var out, errb bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &out, &errb
+	if err := cmd.Run(); err != nil {
+		t.Fatalf("%s %v: %v\nstderr:\n%s", bin, args, err, errb.String())
+	}
+	return out.String(), errb.String()
+}
+
+var (
+	goldenOnce   sync.Once
+	goldenTable4 string
+)
+
+// golden returns the sequential single-process Table 4 CSV the merged
+// campaigns must reproduce byte for byte.
+func golden(t *testing.T) string {
+	t.Helper()
+	goldenOnce.Do(func() {
+		args := append([]string{"-quiet", "-csv", "-only", "table4"}, sliceArgs...)
+		goldenTable4, _ = runBin(t, "metricstudy", args...)
+	})
+	if goldenTable4 == "" {
+		t.Fatal("no golden Table 4 (sequential run failed earlier)")
+	}
+	return goldenTable4
+}
+
+// TestDistributedChaosCampaignConverges is the acceptance run: a
+// three-shard coordinator campaign where shard0's worker is SIGKILLed
+// mid-slice (crash-restart), shard1's worker is SIGSTOPped past the
+// straggler threshold (work stealing), and shard2's journal is
+// corrupted mid-file after it completes (quarantine + recompute). The
+// campaign must still exit 0 and print a Table 4 byte-identical to the
+// sequential run, and the surviving workers' span logs must pass
+// tracecheck -shards.
+func TestDistributedChaosCampaignConverges(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess campaign; skipped in -short")
+	}
+	want := golden(t)
+
+	dir := t.TempDir()
+	args := append([]string{
+		"-quiet", "-csv", "-only", "table4", "-trace",
+		"-coordinator", "-shards", "3", "-checkpoint-dir", dir,
+		"-straggle-timeout", "5s",
+		"-chaos-kill", "shard0@1",
+		"-chaos-stop", "shard1@1",
+		"-chaos-corrupt", "shard2",
+	}, sliceArgs...)
+	stdout, stderr := runBin(t, "metricstudy", args...)
+
+	if stdout != want {
+		t.Errorf("merged Table 4 differs from the sequential run:\n--- got\n%s--- want\n%s", stdout, want)
+	}
+	for _, event := range []string{
+		"chaos: SIGKILLed shard shard0",
+		"restarting with -resume",
+		"chaos: SIGSTOPped shard shard1",
+		"stealing its remaining work",
+		"chaos: corrupted",
+		"no journal covered shard slice(s) [2]",
+	} {
+		if !strings.Contains(stderr, event) {
+			t.Errorf("campaign stderr missing %q:\n%s", event, stderr)
+		}
+	}
+	// The corrupt shard is quarantined by name, whichever of its
+	// journals ended up covering the slice.
+	if !regexp.MustCompile(`quarantined shard journal \S*shard2\S*\.ckpt`).MatchString(stderr) {
+		t.Errorf("campaign stderr does not quarantine a shard2 journal:\n%s", stderr)
+	}
+
+	// The victim of the steal was SIGKILLed before it could export spans,
+	// so the directory holds logs only from workers that finished — and
+	// those must be a consistent multi-shard trace.
+	tcOut, _ := runBin(t, "tracecheck", "-shards", dir)
+	for _, name := range []string{"shard0", "shard1", "shard2"} {
+		if !strings.Contains(tcOut, name) {
+			t.Errorf("tracecheck output missing %s: %s", name, tcOut)
+		}
+	}
+
+	// The corrupt journal was quarantined by the merge report, not
+	// rewritten or deleted — it's still on disk for post-mortems.
+	if m, _ := filepath.Glob(filepath.Join(dir, "shard2*.ckpt")); len(m) != 1 {
+		t.Errorf("want exactly the corrupt shard2 journal on disk, got %v", m)
+	}
+	// The stolen shard left both the victim's journal and the stealer's.
+	for _, f := range []string{"shard1.ckpt", "shard1-steal.ckpt"} {
+		if _, err := os.Stat(filepath.Join(dir, f)); err != nil {
+			t.Errorf("steal artifact %s missing: %v", f, err)
+		}
+	}
+}
+
+// TestCoordinatorCleanCampaign: no chaos, two shards — the plain
+// distributed path also converges byte-identically.
+func TestCoordinatorCleanCampaign(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess campaign; skipped in -short")
+	}
+	want := golden(t)
+	dir := t.TempDir()
+	args := append([]string{
+		"-quiet", "-csv", "-only", "table4",
+		"-coordinator", "-shards", "2", "-checkpoint-dir", dir,
+	}, sliceArgs...)
+	stdout, stderr := runBin(t, "metricstudy", args...)
+	if stdout != want {
+		t.Errorf("merged Table 4 differs from the sequential run:\n--- got\n%s--- want\n%s", stdout, want)
+	}
+	if strings.Contains(stderr, "quarantined") || strings.Contains(stderr, "no journal covered") {
+		t.Errorf("clean campaign reported damage:\n%s", stderr)
+	}
+}
+
+// TestCheckpointInfo exercises the journal triage view over a clean and
+// a mid-file-corrupted shard journal.
+func TestCheckpointInfo(t *testing.T) {
+	if testing.Short() {
+		t.Skip("needs the built binary; skipped in -short")
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "shard0.ckpt")
+	tag := persist.ShardTag("opts=x", persist.ShardSpec{Index: 0, Count: 2, Name: "shard0"})
+	ckpt, err := persist.CreateCheckpoint(path, tag)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := ckpt.Append(persist.CellRecord{Stage: "cell", Key: fmt.Sprintf("unit%d", i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	stdout, _ := runBin(t, "metricstudy", "-checkpoint-info", path)
+	for _, want := range []string{
+		"shard: 0/2 (shard0)",
+		"records: 3 (0 probes, 3 cells)",
+		"last unit: cell unit2",
+		"status: clean",
+	} {
+		if !strings.Contains(stdout, want) {
+			t.Errorf("checkpoint-info missing %q:\n%s", want, stdout)
+		}
+	}
+
+	if err := corruptJournal(path); err != nil {
+		t.Fatal(err)
+	}
+	stdout, _ = runBin(t, "metricstudy", "-checkpoint-info", path)
+	if !strings.Contains(stdout, "status: corrupt (bad record at line 2, 2 intact records stranded after it") {
+		t.Errorf("corrupt journal not triaged:\n%s", stdout)
+	}
+}

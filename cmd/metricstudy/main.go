@@ -16,6 +16,16 @@
 // can be re-run with -resume and pick up where it left off; -faults and
 // -fault-seed arm the deterministic chaos injector (internal/faults).
 //
+// Distributed runs (see README "Distributed runs"): -shard-count with
+// -shard-index runs one tagged slice of the grid into its own journal;
+// -checkpoint-dir merges a directory of shard journals and finishes the
+// study from them; -coordinator spawns -shards N shard workers as child
+// processes, supervises them (crash-restart with -resume, work stealing
+// past -straggle-timeout, quarantine of corrupt journals), and then
+// runs the merge itself. -checkpoint-info triages any journal without
+// touching it. The -chaos-* knobs inject coordinator-level failures for
+// the distributed chaos suite.
+//
 // Usage:
 //
 //	metricstudy [-csv] [-quiet] [-only <section>] [-ablate <ingredient>]
@@ -25,6 +35,14 @@
 //	            [-faults rules] [-fault-seed n]
 //	            [-trace] [-spans f.jsonl] [-manifest f.json] [-prom f.txt]
 //	            [-cpuprofile f] [-memprofile f] [-tracefile f]
+//	metricstudy -shard-index i -shard-count n [-shard-name s] [-shard-tail]
+//	            [-shard-slot k] -checkpoint f.ckpt [...]
+//	metricstudy -checkpoint-dir dir [...]
+//	metricstudy -coordinator -shards n -checkpoint-dir dir
+//	            [-straggle-timeout d] [-max-restarts n]
+//	            [-chaos-kill name@recs] [-chaos-stop name@recs]
+//	            [-chaos-corrupt name] [...]
+//	metricstudy -checkpoint-info f.ckpt
 package main
 
 import (
@@ -39,6 +57,7 @@ import (
 	rtrace "runtime/trace"
 	"strings"
 	"syscall"
+	"time"
 
 	"hpcmetrics"
 	"hpcmetrics/internal/obs"
@@ -88,7 +107,25 @@ func run() error {
 	resume := flag.Bool("resume", false, "resume from an existing -checkpoint journal instead of starting fresh")
 	faultsSpec := flag.String("faults", "", "chaos fault rules, comma-separated kind:point:rate[:burst[:stall[:match]]]")
 	faultSeed := flag.Uint64("fault-seed", 1, "seed for the deterministic fault injector")
+	shardIndex := flag.Int("shard-index", 0, "this worker's slice of the grid (with -shard-count)")
+	shardCount := flag.Int("shard-count", 0, "total shard count; > 1 runs only this worker's slice")
+	shardName := flag.String("shard-name", "", "label for this shard's journal, span log, and manifest (default shard<index>)")
+	shardTail := flag.Bool("shard-tail", false, "process this shard's cells tail-first (work-stealer order)")
+	shardSlot := flag.Int("shard-slot", -1, "coordinator-assigned span-id slot for this process (default: shard index)")
+	checkpointDir := flag.String("checkpoint-dir", "", "merge a directory of shard journals and finish the study from them (coordinator campaign dir with -coordinator)")
+	coordinator := flag.Bool("coordinator", false, "spawn and supervise -shards shard workers, then merge (needs -checkpoint-dir)")
+	shards := flag.Int("shards", 0, "shard worker count for -coordinator")
+	straggleTimeout := flag.Duration("straggle-timeout", 30*time.Second, "journal-growth silence after which the coordinator steals a shard's remaining work")
+	maxRestarts := flag.Int("max-restarts", 3, "per-shard crash-restart budget before the coordinator abandons the shard to the merge")
+	checkpointInfo := flag.String("checkpoint-info", "", "inspect a checkpoint journal (version, tag, records, last unit, integrity) and exit")
+	chaosKill := flag.String("chaos-kill", "", "coordinator chaos: SIGKILL worker name@records (comma-separated)")
+	chaosStop := flag.String("chaos-stop", "", "coordinator chaos: SIGSTOP worker name@records to fake a straggler (comma-separated)")
+	chaosCorrupt := flag.String("chaos-corrupt", "", "coordinator chaos: corrupt the named shard's covering journal mid-file after it completes, dropping any other journal of the shard (comma-separated)")
 	flag.Parse()
+
+	if *checkpointInfo != "" {
+		return printCheckpointInfo(*checkpointInfo)
+	}
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -125,10 +162,14 @@ func run() error {
 		MaxAttempts:    *maxAttempts,
 		CellTimeout:    *cellTimeout,
 		CheckpointPath: *checkpoint,
+		CheckpointDir:  *checkpointDir,
 		Resume:         *resume,
 	}
 	if *resume && *checkpoint == "" {
 		return fmt.Errorf("-resume needs -checkpoint")
+	}
+	if *shardCount > 0 {
+		opts.Shard = study.Shard{Index: *shardIndex, Count: *shardCount, Name: *shardName, Tail: *shardTail}
 	}
 	if *faultsSpec != "" {
 		rules, err := hpcmetrics.ParseFaultRules(*faultsSpec)
@@ -157,6 +198,16 @@ func run() error {
 	}
 	if *traceOn {
 		opts.Obs = obs.New()
+		if opts.Shard.Enabled() {
+			// A shard worker stamps its spans and offsets its span IDs
+			// into a coordinator-assigned slot so any set of worker logs
+			// concatenates without collisions.
+			slot := *shardSlot
+			if slot < 0 {
+				slot = *shardIndex
+			}
+			opts.Obs.Tracer.SetShard(opts.Shard.Label(), slot)
+		}
 	}
 
 	// A signal-cancelled root: ^C or SIGTERM cancels the study's worker
@@ -164,9 +215,49 @@ func run() error {
 	// consistent and a -resume run can pick up cleanly.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	if *coordinator {
+		// Supervise a fleet of shard workers into -checkpoint-dir, then
+		// fall through to the normal study path: the merge run below
+		// replays their journals and prints the tables.
+		c := &coord{
+			dir:         *checkpointDir,
+			shards:      *shards,
+			workersPer:  *workers,
+			straggle:    *straggleTimeout,
+			maxRestarts: *maxRestarts,
+			traced:      *traceOn,
+			workerArgs:  workerArgs(flag.CommandLine),
+		}
+		var err error
+		if c.chaosKill, err = parseChaosAt(*chaosKill); err != nil {
+			return err
+		}
+		if c.chaosStop, err = parseChaosAt(*chaosStop); err != nil {
+			return err
+		}
+		c.chaosCorrupt = make(map[string]bool)
+		for _, name := range splitList(*chaosCorrupt) {
+			c.chaosCorrupt[name] = true
+		}
+		if err := c.run(ctx); err != nil {
+			return err
+		}
+		opts.CheckpointDir = c.dir
+	}
+
 	res, err := study.RunContext(ctx, opts)
 	if err != nil {
 		return err
+	}
+	// Quarantined shard journals and uncovered slices are routed around
+	// (their units recomputed), but the operator must hear about them —
+	// even under -quiet.
+	for _, q := range res.Quarantined {
+		fmt.Fprintf(os.Stderr, "metricstudy: quarantined shard journal %s: %s\n", q.Path, q.Reason)
+	}
+	if len(res.MissingShards) > 0 {
+		fmt.Fprintf(os.Stderr, "metricstudy: no journal covered shard slice(s) %v; their units were recomputed\n", res.MissingShards)
 	}
 
 	emit := func(t *hpcmetrics.ReportTable) {
@@ -315,6 +406,10 @@ func exportObs(opts study.Options, spansPath, manifestPath, promPath, ablate str
 			"chaos":        opts.Faults != nil,
 			"faults":       opts.Faults.Fingerprint(),
 		}
+		if opts.Shard.Enabled() {
+			m.Shard = opts.Shard.Label()
+		}
+		m.FaultPlan = opts.Faults.Fingerprint()
 		m.SpanFile = spansPath
 		if err := m.WriteFile(manifestPath); err != nil {
 			return err

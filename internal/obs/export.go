@@ -257,6 +257,13 @@ type Manifest struct {
 	Seed        string         `json:"seed"`
 	Options     map[string]any `json:"options,omitempty"`
 	SpanFile    string         `json:"span_file,omitempty"`
+	// Shard names the shard worker that produced this manifest in a
+	// distributed study; FaultPlan is the campaign's fault-injection
+	// fingerprint (faults.Fingerprint()), so mixed-plan shard sets are
+	// detectable from manifests alone. Unsharded, fault-free runs omit
+	// both, keeping their manifests byte-identical to pre-sharding ones.
+	Shard     string `json:"shard,omitempty"`
+	FaultPlan string `json:"fault_plan,omitempty"`
 }
 
 // NewManifest captures the current environment. GitDescribe is filled

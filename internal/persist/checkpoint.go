@@ -87,22 +87,73 @@ type Checkpoint struct {
 // CreateCheckpoint starts a fresh journal at path, replacing any
 // existing file.
 func CreateCheckpoint(path, tag string) (*Checkpoint, error) {
-	hdr, err := json.Marshal(checkpointHeader{Format: formatCheckpoint, Version: FormatVersion, Tag: tag})
+	data, err := encodeHeader(tag)
 	if err != nil {
-		return nil, fmt.Errorf("persist: %w", err)
+		return nil, err
 	}
-	data := append(hdr, '\n')
 	if err := writeAtomic(path, data); err != nil {
 		return nil, fmt.Errorf("persist: %w", err)
 	}
 	return &Checkpoint{path: path, tag: tag, data: data, index: make(map[string]int)}, nil
 }
 
+// encodeHeader serializes the journal's header line.
+func encodeHeader(tag string) ([]byte, error) {
+	hdr, err := json.Marshal(checkpointHeader{Format: formatCheckpoint, Version: FormatVersion, Tag: tag})
+	if err != nil {
+		return nil, fmt.Errorf("persist: %w", err)
+	}
+	return append(hdr, '\n'), nil
+}
+
+// journalScan is a parsed journal: the header, the trustworthy record
+// prefix, and what (if anything) broke the trust. Trust ends at the
+// first undecodable record line; Stranded counts record lines that still
+// decode *after* that point, which is how mid-file corruption (flipped
+// bits with intact records beyond) is told apart from a torn tail (a
+// crash mid-append leaves nothing decodable after the break).
+type journalScan struct {
+	hdr      checkpointHeader
+	records  []CellRecord
+	goodData []byte // header + good-prefix record lines, newline-terminated
+	badLine  int    // 1-based line number of the first bad record line; 0 = clean
+	stranded int    // decodable record lines after badLine
+}
+
+// scanJournal parses raw journal bytes. It errors only when the header
+// line is not JSON at all; format/version/tag policy stays with callers.
+func scanJournal(raw []byte) (journalScan, error) {
+	lines := bytes.Split(raw, []byte("\n"))
+	var s journalScan
+	if len(lines) == 0 || json.Unmarshal(lines[0], &s.hdr) != nil {
+		return s, fmt.Errorf("no checkpoint header")
+	}
+	s.goodData = append(append([]byte{}, lines[0]...), '\n')
+	for i, line := range lines[1:] {
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
+		rec, ok := decodeRecord(line)
+		switch {
+		case !ok && s.badLine == 0:
+			s.badLine = i + 2 // 1-based; the header is line 1
+		case !ok:
+		case s.badLine != 0:
+			s.stranded++
+		default:
+			s.records = append(s.records, rec)
+			s.goodData = append(append(s.goodData, line...), '\n')
+		}
+	}
+	return s, nil
+}
+
 // OpenCheckpoint loads the journal at path for resuming. A missing file
 // starts a fresh journal; a header with the wrong format, version, or
 // tag is an error; a torn or corrupt record truncates the journal back
-// to its good prefix (the file is rewritten clean). Dropped reports how
-// many lines that cost.
+// to its good prefix (the file is rewritten clean). Dropped reports
+// whether that happened. Use Inspect to triage a journal — including
+// telling a torn tail from mid-file corruption — without rewriting it.
 func OpenCheckpoint(path, tag string) (*Checkpoint, error) {
 	raw, err := os.ReadFile(path)
 	if os.IsNotExist(err) {
@@ -111,11 +162,11 @@ func OpenCheckpoint(path, tag string) (*Checkpoint, error) {
 	if err != nil {
 		return nil, fmt.Errorf("persist: %w", err)
 	}
-	lines := bytes.Split(raw, []byte("\n"))
-	var hdr checkpointHeader
-	if len(lines) == 0 || json.Unmarshal(lines[0], &hdr) != nil {
+	scan, err := scanJournal(raw)
+	if err != nil {
 		return nil, fmt.Errorf("persist: %s is not a checkpoint file", path)
 	}
+	hdr := scan.hdr
 	if hdr.Format != formatCheckpoint {
 		return nil, fmt.Errorf("persist: %s holds %q, want %q", path, hdr.Format, formatCheckpoint)
 	}
@@ -126,34 +177,21 @@ func OpenCheckpoint(path, tag string) (*Checkpoint, error) {
 		return nil, fmt.Errorf("persist: checkpoint %s was written by a study with different options (tag %q, want %q)",
 			path, hdr.Tag, tag)
 	}
-	var (
-		records []CellRecord
-		index   = make(map[string]int)
-		dropped int
-		data    = append(append([]byte{}, lines[0]...), '\n')
-	)
-	for _, line := range lines[1:] {
-		if len(bytes.TrimSpace(line)) == 0 {
-			continue
-		}
-		rec, ok := decodeRecord(line)
-		if !ok {
-			// Torn tail or flipped bits: everything from here on is
-			// untrustworthy. Keep the good prefix only.
-			dropped++
-			break
-		}
-		index[rec.Stage+"|"+rec.Key] = len(records)
-		records = append(records, rec)
-		data = append(append(data, line...), '\n')
+	index := make(map[string]int, len(scan.records))
+	for i, rec := range scan.records {
+		index[rec.Stage+"|"+rec.Key] = i
 	}
-	if dropped > 0 {
-		// Rewrite the journal clean so the corruption cannot resurface.
-		if err := writeAtomic(path, data); err != nil {
+	var dropped int
+	if scan.badLine > 0 {
+		// Torn tail or flipped bits: everything from the first bad line
+		// on is untrustworthy. Rewrite the journal back to its good
+		// prefix so the corruption cannot resurface.
+		dropped = 1
+		if err := writeAtomic(path, scan.goodData); err != nil {
 			return nil, fmt.Errorf("persist: %w", err)
 		}
 	}
-	return &Checkpoint{path: path, tag: tag, data: data, records: records, index: index, dropped: dropped}, nil
+	return &Checkpoint{path: path, tag: tag, data: scan.goodData, records: scan.records, index: index, dropped: dropped}, nil
 }
 
 // decodeRecord parses one journal line, verifying its checksum.
@@ -174,7 +212,9 @@ func decodeRecord(line []byte) (CellRecord, bool) {
 
 // Append journals one completed unit and rewrites the file atomically.
 // Appending a (stage, key) that is already journaled replaces nothing —
-// the first record wins, matching Lookup.
+// the first record wins, matching Lookup. A memory-only checkpoint
+// (empty path, see SeedCheckpoint) records the unit without touching
+// disk.
 func (c *Checkpoint) Append(rec CellRecord) error {
 	if c == nil {
 		return nil
@@ -182,25 +222,39 @@ func (c *Checkpoint) Append(rec CellRecord) error {
 	if rec.Stage == "" || rec.Key == "" {
 		return fmt.Errorf("persist: checkpoint record needs a stage and a key")
 	}
-	payload, err := json.Marshal(rec)
-	if err != nil {
-		return fmt.Errorf("persist: encoding checkpoint record: %w", err)
-	}
-	line, err := json.Marshal(recordLine{Record: payload, CRC: fmt.Sprintf("%08x", crc32.ChecksumIEEE(payload))})
-	if err != nil {
-		return fmt.Errorf("persist: %w", err)
-	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if _, dup := c.index[rec.Stage+"|"+rec.Key]; !dup {
 		c.index[rec.Stage+"|"+rec.Key] = len(c.records)
 		c.records = append(c.records, rec)
-		c.data = append(append(c.data, line...), '\n')
+		if c.path != "" {
+			line, err := encodeRecord(rec)
+			if err != nil {
+				return err
+			}
+			c.data = append(append(c.data, line...), '\n')
+		}
+	}
+	if c.path == "" {
+		return nil
 	}
 	if err := writeAtomic(c.path, c.data); err != nil {
 		return fmt.Errorf("persist: %w", err)
 	}
 	return nil
+}
+
+// encodeRecord serializes one record as a checksummed journal line.
+func encodeRecord(rec CellRecord) ([]byte, error) {
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return nil, fmt.Errorf("persist: encoding checkpoint record: %w", err)
+	}
+	line, err := json.Marshal(recordLine{Record: payload, CRC: fmt.Sprintf("%08x", crc32.ChecksumIEEE(payload))})
+	if err != nil {
+		return nil, fmt.Errorf("persist: %w", err)
+	}
+	return line, nil
 }
 
 // Lookup returns the journaled record for one (stage, key), if any.
